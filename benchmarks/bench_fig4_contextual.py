@@ -1,0 +1,95 @@
+"""Figure 4: contextual explanations over sub-populations.
+
+Paper shapes asserted:
+
+* 4a (German): raising checking-account ``status`` is more likely to
+  flip a rejection for *older* than for younger applicants.
+* 4b (Adult): a better ``marital`` value moves older individuals more.
+* 4c/4d (COMPAS software): worsening priors / juvenile crime is more
+  detrimental for Black defendants (higher necessity), while improving
+  them benefits White defendants at least as much (sufficiency).
+"""
+
+import pytest
+
+from repro import Lewis
+from repro.data.compas import compas_software_positive
+
+from benchmarks.conftest import write_report
+
+
+def _context_rows(lewis, attribute, contexts):
+    rows = []
+    for label, context in contexts.items():
+        exp = lewis.explain_context(context, attributes=[attribute])
+        s = exp.score_of(attribute)
+        rows.append((label, s.necessity, s.sufficiency, s.necessity_sufficiency))
+    return rows
+
+
+def _render(title, rows):
+    lines = [title, f"{'context':10s} {'NEC':>6s} {'SUF':>6s} {'NESUF':>6s}"]
+    for label, nec, suf, nesuf in rows:
+        lines.append(f"{label:10s} {nec:6.2f} {suf:6.2f} {nesuf:6.2f}")
+    return lines
+
+
+def test_fig4a_status_by_age_german(benchmark, explainers):
+    lewis = explainers["german"]
+    contexts = {"young": {"age": "<25 yr"}, "old": {"age": ">50 yr"}}
+    rows = benchmark.pedantic(
+        lambda: _context_rows(lewis, "status", contexts), rounds=1, iterations=1
+    )
+    write_report("fig4a_german_status", _render("Figure 4a - status x age (German)", rows))
+    by_label = {r[0]: r for r in rows}
+    assert by_label["old"][2] >= by_label["young"][2] - 0.05  # SUF old >= young
+
+
+def test_fig4b_marital_by_age_adult(benchmark, explainers):
+    lewis = explainers["adult"]
+    contexts = {"young": {"age": "<=30 yr"}, "old": {"age": "46-60 yr"}}
+    rows = benchmark.pedantic(
+        lambda: _context_rows(lewis, "marital", contexts), rounds=1, iterations=1
+    )
+    write_report("fig4b_adult_marital", _render("Figure 4b - marital x age (Adult)", rows))
+    by_label = {r[0]: r for r in rows}
+    assert by_label["old"][2] >= by_label["young"][2] - 0.05
+
+
+@pytest.fixture(scope="module")
+def compas_software_lewis(bundles):
+    bundle = bundles["compas"]
+    features = bundle.table.select(bundle.feature_names)
+    return Lewis(
+        compas_software_positive,
+        data=features,
+        feature_names=bundle.feature_names,
+        graph=bundle.graph,
+    )
+
+
+def test_fig4c_priors_by_race(benchmark, compas_software_lewis):
+    contexts = {"white": {"race": "White"}, "black": {"race": "Black"}}
+    rows = benchmark.pedantic(
+        lambda: _context_rows(compas_software_lewis, "priors_count", contexts),
+        rounds=1,
+        iterations=1,
+    )
+    write_report("fig4c_compas_priors", _render("Figure 4c - priors x race", rows))
+    by_label = {r[0]: r for r in rows}
+    # More priors hurt Black defendants more (necessity of the good value).
+    assert by_label["black"][1] >= by_label["white"][1]
+    # Reducing priors benefits White defendants at least as much.
+    assert by_label["white"][2] >= by_label["black"][2] - 0.25
+
+
+def test_fig4d_juvenile_by_race(benchmark, compas_software_lewis):
+    contexts = {"white": {"race": "White"}, "black": {"race": "Black"}}
+    rows = benchmark.pedantic(
+        lambda: _context_rows(compas_software_lewis, "juv_fel_count", contexts),
+        rounds=1,
+        iterations=1,
+    )
+    write_report("fig4d_compas_juvenile", _render("Figure 4d - juvenile x race", rows))
+    by_label = {r[0]: r for r in rows}
+    assert by_label["black"][1] >= by_label["white"][1]

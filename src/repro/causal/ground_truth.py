@@ -1,0 +1,177 @@
+"""Ground-truth explanation scores via Pearl's three-step procedure.
+
+When the generating SCM is known (synthetic validation data, Section 5.5
+of the paper), the counterfactual quantities defining NEC / SUF / NESUF
+can be computed exactly by Monte Carlo: draw a population of exogenous
+contexts ``u``, evaluate the factual world, re-evaluate under the
+intervention with the *same* ``u`` (abduction is free because we hold the
+true model), and read the scores off the joint factual/counterfactual
+outcomes.  This module is the reference implementation every estimator in
+:mod:`repro.core` is validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.causal.scm import StructuralCausalModel
+from repro.data.table import Table
+from repro.utils.exceptions import EstimationError
+from repro.utils.rng import as_generator
+
+PredictFn = Callable[[Table], np.ndarray]
+
+
+class GroundTruthScores:
+    """Exact (Monte Carlo) NEC / SUF / NESUF for a known SCM + black box.
+
+    Parameters
+    ----------
+    scm:
+        The generating model over the black box's input attributes.
+    predict:
+        The black box: maps a feature :class:`Table` to an outcome vector.
+    positive:
+        Maps the outcome vector to a boolean "positive decision" vector.
+        Defaults to ``outcome == 1`` (binary classification codes); pass
+        e.g. ``lambda s: s >= 0.5`` for the regression black box of
+        Section 5.5.
+    n_samples:
+        Monte Carlo population size.
+    """
+
+    def __init__(
+        self,
+        scm: StructuralCausalModel,
+        predict: PredictFn,
+        positive: Callable[[np.ndarray], np.ndarray] | None = None,
+        n_samples: int = 50_000,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        self._scm = scm
+        self._predict = predict
+        self._positive = positive or (lambda outcome: outcome == 1)
+        rng = as_generator(seed)
+        self._exogenous = scm.draw_exogenous(n_samples, rng)
+        self._factual_values = scm.evaluate(self._exogenous)
+        self._factual_table = scm.to_table(self._factual_values)
+        self._factual_positive = np.asarray(
+            self._positive(predict(self._factual_table)), dtype=bool
+        )
+        self._cf_cache: dict[tuple[str, int], np.ndarray] = {}
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def population(self) -> Table:
+        """The factual Monte Carlo population."""
+        return self._factual_table
+
+    @property
+    def factual_positive(self) -> np.ndarray:
+        """Boolean vector: black box made the positive decision."""
+        return self._factual_positive
+
+    def counterfactual_positive(self, attribute: str, code: int) -> np.ndarray:
+        """Positive-decision vector under ``do(attribute <- code)``."""
+        key = (attribute, int(code))
+        if key not in self._cf_cache:
+            values = self._scm.counterfactual(self._exogenous, {attribute: code})
+            table = self._scm.to_table(values)
+            self._cf_cache[key] = np.asarray(
+                self._positive(self._predict(table)), dtype=bool
+            )
+        return self._cf_cache[key]
+
+    def _context_mask(self, context: Mapping[str, int]) -> np.ndarray:
+        mask = np.ones(len(self._factual_table), dtype=bool)
+        for name, code in context.items():
+            mask &= self._factual_values[name] == int(code)
+        return mask
+
+    def _require_support(self, mask: np.ndarray, what: str) -> None:
+        if not mask.any():
+            raise EstimationError(f"no Monte Carlo units satisfy {what}")
+
+    # -- the three scores -----------------------------------------------------
+
+    def necessity(
+        self,
+        attribute: str,
+        x: int,
+        x_prime: int,
+        context: Mapping[str, int] | None = None,
+    ) -> float:
+        """``Pr(o'_{X<-x'} | X=x, O=o, K=k)`` — Definition 3.1, Eq. (5)."""
+        context = context or {}
+        mask = (
+            self._context_mask(context)
+            & (self._factual_values[attribute] == int(x))
+            & self._factual_positive
+        )
+        self._require_support(mask, f"{attribute}={x}, O=o, K={context}")
+        cf = self.counterfactual_positive(attribute, x_prime)
+        return float(np.mean(~cf[mask]))
+
+    def sufficiency(
+        self,
+        attribute: str,
+        x: int,
+        x_prime: int,
+        context: Mapping[str, int] | None = None,
+    ) -> float:
+        """``Pr(o_{X<-x} | X=x', O=o', K=k)`` — Definition 3.1, Eq. (6)."""
+        context = context or {}
+        mask = (
+            self._context_mask(context)
+            & (self._factual_values[attribute] == int(x_prime))
+            & ~self._factual_positive
+        )
+        self._require_support(mask, f"{attribute}={x_prime}, O=o', K={context}")
+        cf = self.counterfactual_positive(attribute, x)
+        return float(np.mean(cf[mask]))
+
+    def necessity_sufficiency(
+        self,
+        attribute: str,
+        x: int,
+        x_prime: int,
+        context: Mapping[str, int] | None = None,
+    ) -> float:
+        """``Pr(o_{X<-x}, o'_{X<-x'} | K=k)`` — Definition 3.1, Eq. (7)."""
+        context = context or {}
+        mask = self._context_mask(context)
+        self._require_support(mask, f"K={context}")
+        cf_x = self.counterfactual_positive(attribute, x)
+        cf_xp = self.counterfactual_positive(attribute, x_prime)
+        return float(np.mean(cf_x[mask] & ~cf_xp[mask]))
+
+    def scores(
+        self,
+        attribute: str,
+        x: int,
+        x_prime: int,
+        context: Mapping[str, int] | None = None,
+    ) -> dict[str, float]:
+        """All three scores for one (attribute, x, x') choice."""
+        return {
+            "necessity": self.necessity(attribute, x, x_prime, context),
+            "sufficiency": self.sufficiency(attribute, x, x_prime, context),
+            "necessity_sufficiency": self.necessity_sufficiency(
+                attribute, x, x_prime, context
+            ),
+        }
+
+    def monotonicity_violation(self, attribute: str, x: int, x_prime: int) -> float:
+        """``Λ_viol = Pr(o'_{X<-x} | o, X=x')`` — Section 5.5's violation measure.
+
+        Zero iff raising ``attribute`` from ``x'`` to ``x`` never flips a
+        positive decision to negative for units currently at ``x'``.
+        """
+        mask = (self._factual_values[attribute] == int(x_prime)) & self._factual_positive
+        if not mask.any():
+            return 0.0
+        cf = self.counterfactual_positive(attribute, x)
+        return float(np.mean(~cf[mask]))

@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro.cli <command> ...``.
+
+Four subcommands mirror the library's main entry points:
+
+* ``explain``  — global or contextual explanation on a dataset,
+* ``local``    — local explanation for one row,
+* ``recourse`` — minimal-cost recourse for one row,
+* ``audit``    — counterfactual-fairness audit of protected attributes.
+
+All commands train a black box on a fresh replica of the chosen dataset;
+results print as plain-text charts (see :mod:`repro.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import Lewis, fit_table_model, load_dataset, train_test_split
+from repro.core.fairness import FairnessAuditor
+from repro.data.registry import available_datasets
+from repro.models.pipeline import MODEL_KINDS
+from repro.report import (
+    render_global,
+    render_local,
+    render_recourse,
+    render_scores_table,
+)
+from repro.utils.exceptions import RecourseInfeasibleError
+
+
+def _build_explainer(args) -> tuple:
+    bundle = load_dataset(args.dataset, n_rows=args.rows, seed=args.seed)
+    train, test = train_test_split(bundle.table, test_fraction=0.3, seed=args.seed)
+    kind = args.model
+    if bundle.positive_label is None and not kind.endswith("_regressor"):
+        kind = "random_forest_regressor"
+    model = fit_table_model(
+        kind, train, bundle.feature_names, bundle.label, seed=args.seed
+    )
+    lewis = Lewis(
+        model,
+        data=test,
+        graph=bundle.graph,
+        positive_outcome=bundle.positive_label,
+        threshold=0.5 if bundle.positive_label is None else None,
+    )
+    return bundle, model, lewis
+
+
+def _parse_context(items: Sequence[str]) -> dict:
+    context = {}
+    for item in items:
+        if "=" not in item:
+            raise SystemExit(f"context must be attr=value, got {item!r}")
+        key, value = item.split("=", 1)
+        context[key] = value
+    return context
+
+
+def cmd_explain(args) -> int:
+    bundle, _model, lewis = _build_explainer(args)
+    if args.context:
+        context = _parse_context(args.context)
+        explanation = lewis.explain_context(context)
+        title = f"{args.dataset}: contextual explanation"
+    else:
+        explanation = lewis.explain_global()
+        title = f"{args.dataset}: global explanation"
+    if args.chart:
+        print(render_global(explanation, kind=args.score, title=title))
+    else:
+        print(render_scores_table(explanation, title=title))
+    return 0
+
+
+def cmd_local(args) -> int:
+    bundle, _model, lewis = _build_explainer(args)
+    index = args.index
+    if index is None:
+        pool = lewis.negative_indices() if args.negative else lewis.positive_indices()
+        if len(pool) == 0:
+            print("no individual with the requested outcome", file=sys.stderr)
+            return 1
+        index = int(pool[0])
+    explanation = lewis.explain_local(index=index)
+    print(render_local(explanation, title=f"{args.dataset}: local explanation (row {index})"))
+    for sentence in explanation.statements(top=3):
+        print(" ", sentence)
+    return 0
+
+
+def cmd_recourse(args) -> int:
+    bundle, _model, lewis = _build_explainer(args)
+    actionable = args.actionable or bundle.actionable
+    if not actionable:
+        print(f"{args.dataset} has no actionable attributes", file=sys.stderr)
+        return 1
+    index = args.index
+    if index is None:
+        index = int(lewis.negative_indices()[0])
+    try:
+        recourse = lewis.recourse(index, actionable=actionable, alpha=args.alpha)
+    except RecourseInfeasibleError as exc:
+        print(f"infeasible: {exc}", file=sys.stderr)
+        return 2
+    print(
+        render_recourse(
+            recourse, title=f"{args.dataset}: recourse for row {index} (alpha={args.alpha})"
+        )
+    )
+    return 0
+
+
+def cmd_audit(args) -> int:
+    bundle, _model, lewis = _build_explainer(args)
+    auditor = FairnessAuditor(lewis, tolerance=args.tolerance)
+    protected = args.protected or [
+        name for name in ("sex", "race", "gender") if name in lewis.data
+    ]
+    if not protected:
+        print("no protected attributes found; pass --protected", file=sys.stderr)
+        return 1
+    failures = 0
+    for verdict in auditor.audit_all(protected):
+        print(verdict.summary())
+        failures += not verdict.is_counterfactually_fair
+    return 0 if failures == 0 else 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LEWIS: probabilistic contrastive counterfactual explanations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument(
+            "--dataset", default="german", choices=available_datasets()
+        )
+        p.add_argument("--rows", type=int, default=None, help="dataset size")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--model", default="random_forest", choices=sorted(MODEL_KINDS)
+        )
+
+    p_explain = sub.add_parser("explain", help="global / contextual explanation")
+    common(p_explain)
+    p_explain.add_argument(
+        "--context", nargs="*", default=[], metavar="ATTR=VALUE"
+    )
+    p_explain.add_argument(
+        "--score",
+        default="necessity_sufficiency",
+        choices=["necessity", "sufficiency", "necessity_sufficiency"],
+    )
+    p_explain.add_argument("--chart", action="store_true", help="bar chart output")
+    p_explain.set_defaults(func=cmd_explain)
+
+    p_local = sub.add_parser("local", help="local explanation for one row")
+    common(p_local)
+    p_local.add_argument("--index", type=int, default=None)
+    p_local.add_argument(
+        "--negative", action="store_true", help="pick a negative-outcome row"
+    )
+    p_local.set_defaults(func=cmd_local)
+
+    p_recourse = sub.add_parser("recourse", help="actionable recourse for one row")
+    common(p_recourse)
+    p_recourse.add_argument("--index", type=int, default=None)
+    p_recourse.add_argument("--alpha", type=float, default=0.7)
+    p_recourse.add_argument("--actionable", nargs="*", default=None)
+    p_recourse.set_defaults(func=cmd_recourse)
+
+    p_audit = sub.add_parser("audit", help="counterfactual-fairness audit")
+    common(p_audit)
+    p_audit.add_argument("--protected", nargs="*", default=None)
+    p_audit.add_argument("--tolerance", type=float, default=0.05)
+    p_audit.set_defaults(func=cmd_audit)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    raise SystemExit(main())

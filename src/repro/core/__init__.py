@@ -1,0 +1,56 @@
+"""LEWIS core: explanation scores, bounds, explanations, recourse.
+
+This package implements the paper's contribution (Sections 3–4):
+
+* :mod:`repro.core.scores` — point estimation of the necessity,
+  sufficiency and necessity-and-sufficiency scores (Proposition 4.2),
+* :mod:`repro.core.bounds` — Fréchet-style bounds valid without the
+  monotonicity assumption (Proposition 4.1),
+* :mod:`repro.core.explanations` — global / contextual / local
+  explanation generation (Section 3.2),
+* :mod:`repro.core.recourse` — minimal-cost counterfactual recourse as a
+  0-1 integer program (Section 4.2),
+* :mod:`repro.core.lewis` — the :class:`~repro.core.lewis.Lewis` facade
+  tying everything together.
+"""
+
+from repro.core.scores import ScoreEstimator, ScoreTriple
+from repro.core.bounds import ScoreBounds, BoundsEstimator
+from repro.core.explanations import (
+    AttributeScore,
+    GlobalExplanation,
+    LocalContribution,
+    LocalExplanation,
+)
+from repro.core.recourse import Recourse, RecourseAction, RecourseSolver, unit_step_cost
+from repro.core.ordering import infer_value_order
+from repro.core.monotonicity import empirical_monotonicity_violation
+from repro.core.fairness import ContextualDisparity, FairnessAuditor, FairnessVerdict
+from repro.core.uncertainty import BootstrapScores, ScoreInterval
+from repro.core.gaming import GamingReport, audit_recourse_gaming
+from repro.core.lewis import Lewis
+
+__all__ = [
+    "ScoreEstimator",
+    "ScoreTriple",
+    "ScoreBounds",
+    "BoundsEstimator",
+    "AttributeScore",
+    "GlobalExplanation",
+    "LocalContribution",
+    "LocalExplanation",
+    "Recourse",
+    "RecourseAction",
+    "RecourseSolver",
+    "unit_step_cost",
+    "infer_value_order",
+    "empirical_monotonicity_violation",
+    "ContextualDisparity",
+    "FairnessAuditor",
+    "FairnessVerdict",
+    "BootstrapScores",
+    "ScoreInterval",
+    "GamingReport",
+    "audit_recourse_gaming",
+    "Lewis",
+]

@@ -1,0 +1,116 @@
+"""Fréchet-style bounds on the explanation scores (Proposition 4.1).
+
+These bounds require only interventional quantities ``Pr(o | do(x), k)``
+(identified via the backdoor criterion) plus joint observational
+probabilities, and hold *without* the monotonicity assumption:
+
+    NEC:   max(0, [P(o,x|k)+P(o,x'|k)-P(o|do(x'),k)] / P(o,x|k))
+           <= NEC <= min([P(o'|do(x'),k)-P(o',x'|k)] / P(o,x|k), 1)
+
+    SUF:   max(0, [P(o',x|k)+P(o',x'|k)-P(o'|do(x),k)] / P(o',x'|k))
+           <= SUF <= min([P(o|do(x),k)-P(o,x|k)] / P(o',x'|k), 1)
+
+    NESUF: max(0, P(o|do(x),k)-P(o|do(x'),k))
+           <= NESUF <= min(P(o|do(x),k), P(o'|do(x'),k))
+
+The NESUF lower bound is the (conditional) causal effect of X on O, which
+is the bridge to Proposition 4.4's zero-score characterisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.scores import ScoreEstimator
+from repro.estimation.adjustment import adjusted_probability
+
+
+@dataclass(frozen=True)
+class ScoreBounds:
+    """Lower/upper bounds for the three scores of one contrast."""
+
+    necessity: tuple[float, float]
+    sufficiency: tuple[float, float]
+    necessity_sufficiency: tuple[float, float]
+
+    def contains(self, necessity: float, sufficiency: float, nesuf: float, tol: float = 1e-9) -> bool:
+        """Check whether a score triple lies within all three intervals."""
+        lo, hi = self.necessity
+        if not lo - tol <= necessity <= hi + tol:
+            return False
+        lo, hi = self.sufficiency
+        if not lo - tol <= sufficiency <= hi + tol:
+            return False
+        lo, hi = self.necessity_sufficiency
+        return lo - tol <= nesuf <= hi + tol
+
+
+def _interval(lower: float, upper: float) -> tuple[float, float]:
+    lower = max(0.0, min(lower, 1.0))
+    upper = max(0.0, min(upper, 1.0))
+    if lower > upper:
+        # Sampling noise can invert degenerate intervals; collapse them.
+        lower = upper = (lower + upper) / 2.0
+    return (lower, upper)
+
+
+class BoundsEstimator:
+    """Computes Proposition 4.1 bounds on top of a :class:`ScoreEstimator`."""
+
+    def __init__(self, estimator: ScoreEstimator):
+        self._est = estimator
+
+    def _do(self, outcome_code: int, treatment: Mapping[str, int], context: Mapping[str, int]) -> float:
+        """``Pr(O=outcome_code | do(treatment), context)`` via backdoor adjustment."""
+        adjustment = self._est._adjustment_for(list(treatment), list(context))
+        return adjusted_probability(
+            self._est.frequency_estimator,
+            event={self._est._outcome: outcome_code},
+            treatment=dict(treatment),
+            adjustment=adjustment,
+            weight_condition={},
+            context=dict(context),
+        )
+
+    def _joint(self, outcome_code: int, values: Mapping[str, int], context: Mapping[str, int]) -> float:
+        """``Pr(O=outcome_code, X=values | context)``."""
+        return self._est.frequency_estimator.probability_or_default(
+            {self._est._outcome: outcome_code, **values}, dict(context), default=0.0
+        )
+
+    def bounds(
+        self,
+        treatment: Mapping[str, int],
+        baseline: Mapping[str, int],
+        context: Mapping[str, int] | None = None,
+    ) -> ScoreBounds:
+        """Proposition 4.1 bounds for the contrast ``treatment`` vs ``baseline``."""
+        context = dict(context or {})
+        do_o_x = self._do(1, treatment, context)
+        do_o_xp = self._do(1, baseline, context)
+        do_no_x = 1.0 - do_o_x
+        do_no_xp = 1.0 - do_o_xp
+        p_o_x = self._joint(1, treatment, context)
+        p_o_xp = self._joint(1, baseline, context)
+        p_no_x = self._joint(0, treatment, context)
+        p_no_xp = self._joint(0, baseline, context)
+
+        if p_o_x > 0:
+            nec = _interval(
+                (p_o_x + p_o_xp - do_o_xp) / p_o_x,
+                (do_no_xp - p_no_xp) / p_o_x,
+            )
+        else:
+            nec = (0.0, 1.0)
+
+        if p_no_xp > 0:
+            suf = _interval(
+                (p_no_x + p_no_xp - do_no_x) / p_no_xp,
+                (do_o_x - p_o_x) / p_no_xp,
+            )
+        else:
+            suf = (0.0, 1.0)
+
+        nesuf = _interval(do_o_x - do_o_xp, min(do_o_x, do_no_xp))
+        return ScoreBounds(necessity=nec, sufficiency=suf, necessity_sufficiency=nesuf)

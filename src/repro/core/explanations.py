@@ -1,0 +1,321 @@
+"""Global, contextual, and local explanations (Section 3.2).
+
+Global and contextual explanations rank each attribute by the maximum of
+each score over all ordered value pairs ``x > x'`` in its domain (higher
+code = more favourable, per the ordinal convention or the inferred
+ordering).  Local explanations decompose an individual's outcome into
+positive and negative contributions of each of their attribute values,
+following the four max-formulas of Section 3.2.
+
+Every explanation can render itself as the contrastive counterfactual
+sentences of the paper's template (1) via ``statements()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.scores import ScoreEstimator, ScoreTriple
+from repro.data.table import Table
+
+SCORE_KEYS = ("necessity", "sufficiency", "necessity_sufficiency")
+
+
+@dataclass(frozen=True)
+class AttributeScore:
+    """Best-pair scores of one attribute in one context."""
+
+    attribute: str
+    necessity: float
+    sufficiency: float
+    necessity_sufficiency: float
+    best_pair_necessity: tuple[Any, Any] | None = None
+    best_pair_sufficiency: tuple[Any, Any] | None = None
+    best_pair_nesuf: tuple[Any, Any] | None = None
+
+    def score(self, kind: str) -> float:
+        """Return one of the three scores by name."""
+        if kind not in SCORE_KEYS:
+            raise ValueError(f"unknown score kind {kind!r}; options: {SCORE_KEYS}")
+        return getattr(self, kind)
+
+
+@dataclass
+class GlobalExplanation:
+    """Per-attribute scores for a (possibly empty) context ``k``."""
+
+    context: dict[str, Any]
+    attribute_scores: list[AttributeScore]
+
+    def ranking(self, kind: str = "necessity_sufficiency") -> list[str]:
+        """Attributes ordered from most to least influential by ``kind``."""
+        ordered = sorted(
+            self.attribute_scores, key=lambda s: s.score(kind), reverse=True
+        )
+        return [s.attribute for s in ordered]
+
+    def rank_of(self, attribute: str, kind: str = "necessity_sufficiency") -> int:
+        """1-based rank of ``attribute`` under ``kind``."""
+        return self.ranking(kind).index(attribute) + 1
+
+    def score_of(self, attribute: str) -> AttributeScore:
+        """The :class:`AttributeScore` of ``attribute``."""
+        for s in self.attribute_scores:
+            if s.attribute == attribute:
+                return s
+        raise KeyError(f"no score for attribute {attribute!r}")
+
+    def statements(self, top: int = 3) -> list[str]:
+        """Contrastive sentences for the ``top`` attributes by NESUF."""
+        out = []
+        where = (
+            " for individuals with "
+            + ", ".join(f"{k}={v}" for k, v in self.context.items())
+            if self.context
+            else ""
+        )
+        for attr in self.ranking("sufficiency")[:top]:
+            s = self.score_of(attr)
+            if s.best_pair_sufficiency is None:
+                continue
+            hi, lo = s.best_pair_sufficiency
+            out.append(
+                f"The decision would have been positive with probability "
+                f"{s.sufficiency:.0%} were {attr} = {hi!r} instead of {lo!r}{where}."
+            )
+        return out
+
+    def as_rows(self) -> list[dict]:
+        """Tabular view: one dict per attribute (for printing/benchmarks)."""
+        return [
+            {
+                "attribute": s.attribute,
+                "necessity": s.necessity,
+                "sufficiency": s.sufficiency,
+                "necessity_sufficiency": s.necessity_sufficiency,
+            }
+            for s in self.attribute_scores
+        ]
+
+
+@dataclass(frozen=True)
+class LocalContribution:
+    """Signed contribution of one attribute value to an individual's outcome.
+
+    ``negative`` is the probability that the value works *against* the
+    individual's favourable standing, ``positive`` that it works *for* it
+    (the four max-formulas of Section 3.2). ``negative_foil`` /
+    ``positive_foil`` record the counterfactual value realising each max,
+    for rendering contrastive statements.
+    """
+
+    attribute: str
+    value: Any
+    positive: float
+    negative: float
+    negative_foil: Any | None = None
+    positive_foil: Any | None = None
+
+    @property
+    def net(self) -> float:
+        """Positive minus negative contribution."""
+        return self.positive - self.negative
+
+
+@dataclass
+class LocalExplanation:
+    """Per-attribute contributions for one individual."""
+
+    individual: dict[str, Any]
+    outcome_positive: bool
+    contributions: list[LocalContribution]
+
+    def ranking(self, by: str = "negative") -> list[str]:
+        """Attributes sorted by |contribution| of the requested sign."""
+        key = {
+            "negative": lambda c: c.negative,
+            "positive": lambda c: c.positive,
+            "net": lambda c: abs(c.net),
+        }[by]
+        return [
+            c.attribute
+            for c in sorted(self.contributions, key=key, reverse=True)
+        ]
+
+    def contribution_of(self, attribute: str) -> LocalContribution:
+        """The contribution entry of ``attribute``."""
+        for c in self.contributions:
+            if c.attribute == attribute:
+                return c
+        raise KeyError(f"no contribution for attribute {attribute!r}")
+
+    def statements(self, top: int = 3) -> list[str]:
+        """Contrastive sentences in the paper's template (1).
+
+        For an approved individual the interesting contrast is losing the
+        decision by lowering a supporting value (necessity, positive
+        contribution); for a rejected individual it is gaining the
+        decision by raising a hurting value (sufficiency, negative
+        contribution).
+        """
+        out = []
+        if self.outcome_positive:
+            foil_outcome = "rejected"
+            key = lambda c: c.positive  # noqa: E731 - tiny local sort key
+            pick = lambda c: (c.positive, c.positive_foil)  # noqa: E731
+        else:
+            foil_outcome = "approved"
+            key = lambda c: c.negative  # noqa: E731
+            pick = lambda c: (c.negative, c.negative_foil)  # noqa: E731
+        for c in sorted(self.contributions, key=key, reverse=True)[:top]:
+            probability, foil_value = pick(c)
+            if probability <= 0 or foil_value is None:
+                continue
+            out.append(
+                f"The decision would have been {foil_outcome} with probability "
+                f"{probability:.0%} were {c.attribute} = "
+                f"{foil_value!r} instead of {c.value!r}."
+            )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# builders
+
+
+def _ordered_pairs(cardinality: int) -> Iterable[tuple[int, int]]:
+    """All (high, low) code pairs with high > low."""
+    for hi in range(cardinality):
+        for lo in range(hi):
+            yield hi, lo
+
+
+def build_global_explanation(
+    estimator: ScoreEstimator,
+    attributes: Sequence[str],
+    context: Mapping[str, int] | None = None,
+    context_labels: Mapping[str, Any] | None = None,
+    max_pairs_per_attribute: int | None = None,
+) -> GlobalExplanation:
+    """Score every attribute by its best value pair in ``context``.
+
+    ``context`` is code-level; ``context_labels`` (optional) is the
+    decoded version recorded on the explanation for display.
+    """
+    context = dict(context or {})
+    table = estimator.table
+    scores: list[AttributeScore] = []
+    for attribute in attributes:
+        if attribute in context:
+            continue
+        col = table.column(attribute)
+        best = {k: 0.0 for k in SCORE_KEYS}
+        best_pair: dict[str, tuple | None] = {k: None for k in SCORE_KEYS}
+        pairs = list(_ordered_pairs(col.cardinality))
+        if max_pairs_per_attribute is not None and len(pairs) > max_pairs_per_attribute:
+            # Prefer extreme contrasts, which carry the max in practice.
+            pairs.sort(key=lambda p: p[0] - p[1], reverse=True)
+            pairs = pairs[:max_pairs_per_attribute]
+        for hi, lo in pairs:
+            triple = estimator.scores(
+                {attribute: hi}, {attribute: lo}, context
+            )
+            for key in SCORE_KEYS:
+                value = getattr(triple, key)
+                if value > best[key]:
+                    best[key] = value
+                    best_pair[key] = (col.categories[hi], col.categories[lo])
+        scores.append(
+            AttributeScore(
+                attribute=attribute,
+                necessity=best["necessity"],
+                sufficiency=best["sufficiency"],
+                necessity_sufficiency=best["necessity_sufficiency"],
+                best_pair_necessity=best_pair["necessity"],
+                best_pair_sufficiency=best_pair["sufficiency"],
+                best_pair_nesuf=best_pair["necessity_sufficiency"],
+            )
+        )
+    labels = dict(context_labels or {})
+    if not labels and context:
+        labels = {
+            name: table.column(name).categories[code]
+            for name, code in context.items()
+        }
+    return GlobalExplanation(context=labels, attribute_scores=scores)
+
+
+def build_local_explanation(
+    estimator: ScoreEstimator,
+    row_codes: Mapping[str, int],
+    outcome_positive: bool,
+    attributes: Sequence[str],
+) -> LocalExplanation:
+    """Contributions of each attribute value for one individual.
+
+    Implements the four formulas of Section 3.2: for a *negative* outcome
+    the negative contribution of the current value ``x'`` is
+    ``max_{x > x'} SUF^{x'}_x(k)`` and its positive contribution
+    ``max_{x'' < x'} SUF^{x''}_{x'}(k)``; for a *positive* outcome the
+    positive contribution is ``max_{x'' < x'} NEC^{x''}_{x'}(k)`` and the
+    negative contribution ``max_{x > x'} NEC^{x'}_x(k)``.
+    """
+    table = estimator.table
+    contributions: list[LocalContribution] = []
+    for attribute in attributes:
+        col = table.column(attribute)
+        current = int(row_codes[attribute])
+        context = estimator.local_context(attribute, row_codes)
+        higher = range(current + 1, col.cardinality)
+        lower = range(current)
+
+        best_negative, best_positive = 0.0, 0.0
+        negative_foil = positive_foil = None
+        if outcome_positive:
+            # Positive contribution: dropping to a lower value would flip.
+            for x_low in lower:
+                nec = estimator.local_scores(attribute, current, x_low, context).necessity
+                if nec > best_positive:
+                    best_positive = nec
+                    positive_foil = col.categories[x_low]
+            # Negative contribution: individuals at a higher value would
+            # lose the decision if brought down to the current value.
+            for x_high in higher:
+                nec = estimator.local_scores(attribute, x_high, current, context).necessity
+                if nec > best_negative:
+                    best_negative = nec
+                    negative_foil = col.categories[x_high]
+        else:
+            # Negative contribution: raising the value would flip to positive.
+            for x_high in higher:
+                suf = estimator.local_scores(attribute, x_high, current, context).sufficiency
+                if suf > best_negative:
+                    best_negative = suf
+                    negative_foil = col.categories[x_high]
+            # Positive contribution: the current value already helps vs lower.
+            for x_low in lower:
+                suf = estimator.local_scores(attribute, current, x_low, context).sufficiency
+                if suf > best_positive:
+                    best_positive = suf
+                    positive_foil = col.categories[x_low]
+        contributions.append(
+            LocalContribution(
+                attribute=attribute,
+                value=col.categories[current],
+                positive=best_positive,
+                negative=best_negative,
+                negative_foil=negative_foil,
+                positive_foil=positive_foil,
+            )
+        )
+    individual = {
+        name: table.column(name).categories[int(code)]
+        for name, code in row_codes.items()
+        if name in table
+    }
+    return LocalExplanation(
+        individual=individual,
+        outcome_positive=bool(outcome_positive),
+        contributions=contributions,
+    )

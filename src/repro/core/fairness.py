@@ -1,0 +1,146 @@
+"""Counterfactual-fairness auditing (Section 6 of the paper).
+
+The paper shows counterfactual fairness (Kusner et al. 2017) is captured
+by the explanation scores: an algorithm is counterfactually fair w.r.t.
+a protected attribute iff the attribute's sufficiency score AND
+necessity score are both zero.  :class:`FairnessAuditor` packages that
+check, reports per-contrast and per-context score tables, and computes
+the classical observational disparity for reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.lewis import Lewis
+
+
+@dataclass(frozen=True)
+class FairnessVerdict:
+    """Audit result for one protected attribute.
+
+    ``necessity`` / ``sufficiency`` are the maxima over all ordered value
+    pairs of the protected attribute; the algorithm is counterfactually
+    fair iff both are (statistically) zero.
+    """
+
+    attribute: str
+    necessity: float
+    sufficiency: float
+    worst_pair: tuple[Any, Any] | None
+    demographic_disparity: float
+    tolerance: float
+
+    @property
+    def is_counterfactually_fair(self) -> bool:
+        """Both causal scores vanish (up to ``tolerance``)."""
+        return self.necessity <= self.tolerance and self.sufficiency <= self.tolerance
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        status = (
+            "counterfactually FAIR"
+            if self.is_counterfactually_fair
+            else "NOT counterfactually fair"
+        )
+        detail = (
+            f"NEC={self.necessity:.3f}, SUF={self.sufficiency:.3f}, "
+            f"observational disparity={self.demographic_disparity:+.3f}"
+        )
+        return f"{self.attribute}: {status} ({detail})"
+
+
+@dataclass
+class ContextualDisparity:
+    """Score gap of an attribute between two sub-populations."""
+
+    attribute: str
+    context_a: dict[str, Any]
+    context_b: dict[str, Any]
+    sufficiency_gap: float
+    necessity_gap: float
+
+
+class FairnessAuditor:
+    """Audits a fitted :class:`~repro.core.lewis.Lewis` explainer."""
+
+    def __init__(self, lewis: Lewis, tolerance: float = 0.05):
+        if not 0.0 <= tolerance < 1.0:
+            raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+        self._lewis = lewis
+        self.tolerance = float(tolerance)
+
+    def audit(self, protected: str) -> FairnessVerdict:
+        """Counterfactual-fairness verdict for one protected attribute."""
+        lewis = self._lewis
+        col = lewis.data.column(protected)
+        best_nec, best_suf = 0.0, 0.0
+        worst_pair: tuple[Any, Any] | None = None
+        for hi in range(col.cardinality):
+            for lo in range(hi):
+                triple = lewis.estimator.scores({protected: hi}, {protected: lo})
+                if max(triple.necessity, triple.sufficiency) > max(best_nec, best_suf):
+                    worst_pair = (col.categories[hi], col.categories[lo])
+                best_nec = max(best_nec, triple.necessity)
+                best_suf = max(best_suf, triple.sufficiency)
+        return FairnessVerdict(
+            attribute=protected,
+            necessity=best_nec,
+            sufficiency=best_suf,
+            worst_pair=worst_pair,
+            demographic_disparity=self.demographic_disparity(protected),
+            tolerance=self.tolerance,
+        )
+
+    def audit_all(self, protected: Sequence[str]) -> list[FairnessVerdict]:
+        """Audit several protected attributes."""
+        return [self.audit(p) for p in protected]
+
+    def demographic_disparity(self, protected: str) -> float:
+        """Largest gap in positive-decision rates across the groups.
+
+        Purely observational (no causal claim); reported alongside the
+        causal verdict because the two can disagree — a fair algorithm
+        can show disparity through correlated non-protected attributes,
+        and vice versa.
+        """
+        lewis = self._lewis
+        codes = lewis.data.codes(protected)
+        rates = []
+        for code in range(lewis.data.column(protected).cardinality):
+            members = codes == code
+            if members.any():
+                rates.append(float(lewis.positive[members].mean()))
+        if len(rates) < 2:
+            return 0.0
+        return max(rates) - min(rates)
+
+    def contextual_disparity(
+        self,
+        attribute: str,
+        context_a: Mapping[str, Any],
+        context_b: Mapping[str, Any],
+    ) -> ContextualDisparity:
+        """Figure-4-style gap: how differently an intervention lands.
+
+        Computes the attribute's best-pair sufficiency/necessity inside
+        each context and reports the (a - b) gaps — e.g. the COMPAS
+        experiments contrast ``{"race": "White"}`` vs ``{"race": "Black"}``.
+        """
+        lewis = self._lewis
+        score_a = lewis.explain_context(dict(context_a), attributes=[attribute]).score_of(
+            attribute
+        )
+        score_b = lewis.explain_context(dict(context_b), attributes=[attribute]).score_of(
+            attribute
+        )
+        return ContextualDisparity(
+            attribute=attribute,
+            context_a=dict(context_a),
+            context_b=dict(context_b),
+            sufficiency_gap=score_a.sufficiency - score_b.sufficiency,
+            necessity_gap=score_a.necessity - score_b.necessity,
+        )

@@ -1,0 +1,106 @@
+"""Gaming audit for recourse (the paper's Section 6 future work).
+
+Strategic classification asks whether a recommended intervention
+genuinely improves the individual's underlying qualification or merely
+*games* the classifier by moving a proxy feature.  With a structural
+causal model of the domain, the two are separable: re-run the SCM under
+the recourse's intervention and compare
+
+* the change in the **black box's** positive rate (what the recourse
+  promised), against
+* the change in the **true label mechanism's** positive rate (what the
+  world would actually do).
+
+A large positive gap — classifier improves, truth does not — is the
+signature of a gaming-prone recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.causal.scm import StructuralCausalModel
+from repro.core.recourse import Recourse
+from repro.data.table import Table
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class GamingReport:
+    """How a recourse's classifier gain compares with its true-label gain."""
+
+    classifier_gain: float
+    true_label_gain: float
+
+    @property
+    def gaming_index(self) -> float:
+        """Classifier gain not backed by a true-label gain (>= 0 is bad)."""
+        return self.classifier_gain - self.true_label_gain
+
+    def is_gaming(self, tolerance: float = 0.15) -> bool:
+        """True when the classifier gain outruns the true gain by more
+        than ``tolerance`` probability mass."""
+        return self.gaming_index > tolerance
+
+
+def audit_recourse_gaming(
+    recourse: Recourse,
+    scm: StructuralCausalModel,
+    predict_positive: Callable[[Table], np.ndarray],
+    label: str,
+    favourable_label_codes: tuple[int, ...] | int = 1,
+    feature_names: list[str] | None = None,
+    n_samples: int = 5_000,
+    seed: int | np.random.Generator | None = 0,
+) -> GamingReport:
+    """Audit one recourse against the generating SCM.
+
+    Parameters
+    ----------
+    recourse:
+        The recommendation to audit (label-level actions).
+    scm:
+        Generating model including the true label node ``label``.
+    predict_positive:
+        The black box as a positive-decision function over feature tables.
+    favourable_label_codes:
+        Code(s) of the label counted as the truly favourable outcome.
+    feature_names:
+        Input columns of the black box (default: all SCM nodes but the
+        label).
+    """
+    rng = as_generator(seed)
+    if feature_names is None:
+        feature_names = [n for n in scm.nodes if n != label]
+    if isinstance(favourable_label_codes, int):
+        favourable_label_codes = (favourable_label_codes,)
+
+    interventions: Mapping[str, int] = {}
+    sample_plain = scm.sample(n_samples, seed=rng)
+    if not recourse.is_empty:
+        interventions = {
+            action.attribute: sample_plain.column(action.attribute).categories.index(
+                action.new_value
+            )
+            for action in recourse.actions
+        }
+    exogenous = scm.draw_exogenous(n_samples, rng)
+    factual = scm.to_table(scm.evaluate(exogenous))
+    counterfactual = scm.to_table(scm.evaluate(exogenous, interventions))
+
+    def rates(table: Table) -> tuple[float, float]:
+        classifier = float(
+            np.mean(np.asarray(predict_positive(table.select(feature_names)), float))
+        )
+        truth = float(np.isin(table.codes(label), favourable_label_codes).mean())
+        return classifier, truth
+
+    clf_before, truth_before = rates(factual)
+    clf_after, truth_after = rates(counterfactual)
+    return GamingReport(
+        classifier_gain=clf_after - clf_before,
+        true_label_gain=truth_after - truth_before,
+    )

@@ -1,0 +1,409 @@
+"""The LEWIS facade: one object, all explanation types.
+
+``Lewis`` wires together the black box, its input-output table, the
+background causal diagram, value-order inference, score estimation,
+bounds, explanations and recourse behind the API a downstream user works
+with:
+
+>>> lew = Lewis(model, data=test_table, feature_names=features, graph=g)
+>>> lew.explain_global().ranking("sufficiency")
+>>> lew.explain_context({"sex": "Male"})
+>>> lew.explain_local(index=7)
+>>> lew.recourse(index=7, actionable=["savings", "credit_amount"], alpha=0.9)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.causal.graph import CausalDiagram
+from repro.core.bounds import BoundsEstimator, ScoreBounds
+from repro.core.explanations import (
+    GlobalExplanation,
+    LocalExplanation,
+    build_global_explanation,
+    build_local_explanation,
+)
+from repro.core.ordering import order_table_attributes
+from repro.core.recourse import CostFn, Recourse, RecourseSolver
+from repro.core.scores import ScoreEstimator, ScoreTriple
+from repro.data.table import Table
+from repro.models.pipeline import TableModel
+
+
+class Lewis:
+    """Post-hoc, model-agnostic explainer for a black-box decision algorithm.
+
+    Parameters
+    ----------
+    model:
+        Either a fitted :class:`~repro.models.pipeline.TableModel` or any
+        callable mapping a feature :class:`Table` to an outcome vector.
+    data:
+        Population to explain over (typically held-out test rows). Only
+        the feature columns are used; predictions are recomputed.
+    feature_names:
+        The algorithm's input attributes. Attributes present in ``data``
+        but not listed here still receive scores (indirect influence,
+        Remark 3.2) as long as they appear in the diagram or table.
+    positive_outcome:
+        The favourable decision. For classifiers this is a label of the
+        model's outcome domain (default: the largest code). For
+        regression black boxes pass ``threshold`` instead and outcomes
+        ``>= threshold`` count as positive.
+    graph:
+        Background causal diagram over the attributes. ``None`` activates
+        the no-confounding fallback of Section 6.
+    infer_orderings:
+        Re-order unordered attribute domains by probing the black box
+        (Section 4.1) so "higher code = more favourable" holds everywhere.
+    """
+
+    def __init__(
+        self,
+        model: TableModel | Callable[[Table], np.ndarray],
+        data: Table,
+        feature_names: Sequence[str] | None = None,
+        positive_outcome: Any | None = None,
+        threshold: float | None = None,
+        graph: CausalDiagram | None = None,
+        attributes: Sequence[str] | None = None,
+        infer_orderings: bool = True,
+        seed: int | None = 0,
+    ):
+        self._model = model
+        self.graph = graph
+        self.threshold = threshold
+
+        if isinstance(model, TableModel):
+            self.feature_names = list(feature_names or model.feature_names)
+        else:
+            if feature_names is None:
+                raise ValueError("feature_names is required for callable models")
+            self.feature_names = list(feature_names)
+
+        #: attributes receiving explanations: features plus any extra
+        #: columns (e.g. sensitive attributes the algorithm never sees).
+        self.attributes = list(attributes) if attributes is not None else [
+            n for n in data.names if n in set(self.feature_names) | set(
+                graph.nodes if graph is not None else []
+            )
+        ]
+        self._positive_outcome = positive_outcome
+
+        table = data.select(
+            [n for n in data.names if n in set(self.attributes) | set(self.feature_names)]
+        )
+        #: the domain layout the black box was trained on; predictions are
+        #: always issued in this space even after favourability reordering.
+        self._model_domains = {name: table.domain(name) for name in table.names}
+        if infer_orderings:
+            table = order_table_attributes(
+                self._raw_predict_positive, table, self.attributes, seed=seed
+            )
+        self.data = table
+        self._positive = np.asarray(self.predict_positive(table), dtype=bool)
+        self.estimator = ScoreEstimator(table, self._positive, diagram=graph)
+        self.bounds_estimator = BoundsEstimator(self.estimator)
+        self._recourse_solvers: dict[tuple, RecourseSolver] = {}
+
+    # -- black-box plumbing ---------------------------------------------------
+
+    def _to_model_space(self, table: Table) -> Table:
+        """Translate reordered domains back to the black box's layout.
+
+        Favourability-ordering (Section 4.1) permutes category codes for
+        score computation; the model, however, was trained on the
+        original layout, so its inputs are always remapped back here.
+        """
+        out = table
+        for name in table.names:
+            original = self._model_domains.get(name)
+            col = table.column(name)
+            if original is not None and col.categories != original:
+                out = out.with_column(col.with_order(original))
+        return out
+
+    def predict_positive(self, table: Table) -> np.ndarray:
+        """Boolean positive-decision vector for ``table``.
+
+        Accepts tables in either the original or the reordered domain
+        layout; codes are translated to the model's layout before the
+        black box is called.
+        """
+        return self._raw_predict_positive(self._to_model_space(table))
+
+    def _raw_predict_positive(self, table: Table) -> np.ndarray:
+        """Positive-decision vector, assuming model-space codes."""
+        features = table.select(self.feature_names)
+        if isinstance(self._model, TableModel):
+            if self._model.is_classifier:
+                codes = self._model.predict_codes(features)
+                return np.isin(codes, self._positive_codes())
+            values = self._model.predict_value(features)
+            threshold = self.threshold if self.threshold is not None else 0.5
+            return values >= threshold
+        outcome = np.asarray(self._model(features))
+        if outcome.dtype == bool:
+            return outcome
+        if self.threshold is not None:
+            return outcome >= self.threshold
+        if self._positive_outcome is not None:
+            if isinstance(self._positive_outcome, (set, frozenset, list, tuple)):
+                favourable = set(self._positive_outcome)
+                return np.fromiter(
+                    (o in favourable for o in outcome), dtype=bool, count=len(outcome)
+                )
+            return outcome == self._positive_outcome
+        return outcome.astype(float) >= 0.5
+
+    def _positive_codes(self) -> np.ndarray:
+        """Outcome codes counted as the favourable decision.
+
+        The multi-class extension of Section 4.1: ``positive_outcome``
+        may be a single label or a *set* of labels (the favourable
+        partition ``O >= o``); scores are computed against that partition.
+        """
+        domain = self._model.outcome_domain_
+        if self._positive_outcome is None:
+            return np.array([len(domain) - 1])
+        if isinstance(self._positive_outcome, (set, frozenset, list, tuple)):
+            return np.array([domain.index(o) for o in self._positive_outcome])
+        return np.array([domain.index(self._positive_outcome)])
+
+    @property
+    def positive(self) -> np.ndarray:
+        """Positive-decision vector over :attr:`data`."""
+        return self._positive
+
+    @property
+    def positive_rate(self) -> float:
+        """Population-level rate of positive decisions."""
+        return float(self._positive.mean())
+
+    # -- raw score access ---------------------------------------------------------
+
+    def _encode_context(self, context: Mapping[str, Any]) -> dict[str, int]:
+        return {
+            name: self.data.column(name).code_of(value)
+            for name, value in context.items()
+        }
+
+    def score(
+        self,
+        attribute: str,
+        value: Any,
+        baseline: Any,
+        context: Mapping[str, Any] | None = None,
+    ) -> ScoreTriple:
+        """NEC/SUF/NESUF for one labelled contrast ``value`` vs ``baseline``."""
+        col = self.data.column(attribute)
+        return self.estimator.scores(
+            {attribute: col.code_of(value)},
+            {attribute: col.code_of(baseline)},
+            self._encode_context(context or {}),
+        )
+
+    def interventional_probability(
+        self,
+        do: Mapping[str, Any],
+        context: Mapping[str, Any] | None = None,
+        positive: bool = True,
+    ) -> float:
+        """``Pr(O = o | do(X <- x), k)`` — the do-operator of Section 2.
+
+        Example 2.1's query "probability of loan approval had all
+        applicants selected a 24-month repayment duration" becomes
+        ``lewis.interventional_probability({"month": "12-24 months"})``.
+        Identified via the backdoor criterion when a diagram is present,
+        estimated as the plain conditional otherwise.
+        """
+        treatment = {
+            name: self.data.column(name).code_of(value)
+            for name, value in do.items()
+        }
+        context_codes = self._encode_context(context or {})
+        estimator = self.estimator
+        adjustment = estimator._adjustment_for(
+            list(treatment), list(context_codes)
+        )
+        from repro.estimation.adjustment import adjusted_probability
+
+        return adjusted_probability(
+            estimator.frequency_estimator,
+            event={estimator._outcome: 1 if positive else 0},
+            treatment=treatment,
+            adjustment=adjustment,
+            weight_condition={},
+            context=context_codes,
+        )
+
+    def score_set(
+        self,
+        values: Mapping[str, Any],
+        baselines: Mapping[str, Any],
+        context: Mapping[str, Any] | None = None,
+    ) -> ScoreTriple:
+        """Scores for a joint contrast over a *set* of attributes.
+
+        Definition 3.1 is stated for attribute sets; this is the labelled
+        convenience over :meth:`ScoreEstimator.scores` — e.g.
+        ``score_set({"savings": ">1000 DM", "status": ">200 DM"},
+        {"savings": "<100 DM", "status": "<0 DM"})``.
+        """
+        treatment = {
+            name: self.data.column(name).code_of(value)
+            for name, value in values.items()
+        }
+        baseline = {
+            name: self.data.column(name).code_of(value)
+            for name, value in baselines.items()
+        }
+        return self.estimator.scores(
+            treatment, baseline, self._encode_context(context or {})
+        )
+
+    def score_bounds(
+        self,
+        attribute: str,
+        value: Any,
+        baseline: Any,
+        context: Mapping[str, Any] | None = None,
+    ) -> ScoreBounds:
+        """Proposition 4.1 bounds for one labelled contrast."""
+        col = self.data.column(attribute)
+        return self.bounds_estimator.bounds(
+            {attribute: col.code_of(value)},
+            {attribute: col.code_of(baseline)},
+            self._encode_context(context or {}),
+        )
+
+    def score_intervals(
+        self,
+        attribute: str,
+        value: Any,
+        baseline: Any,
+        context: Mapping[str, Any] | None = None,
+        n_bootstrap: int = 50,
+        level: float = 0.9,
+        seed: int | None = 0,
+    ) -> dict:
+        """Bootstrap confidence intervals for one labelled contrast.
+
+        Returns ``{score name: ScoreInterval}``; see
+        :class:`repro.core.uncertainty.BootstrapScores`.
+        """
+        from repro.core.uncertainty import BootstrapScores
+
+        features = self.data.select(
+            [n for n in self.data.names if n != self.estimator._outcome]
+        )
+        boot = BootstrapScores(
+            features,
+            self._positive,
+            diagram=self.graph,
+            n_bootstrap=n_bootstrap,
+            seed=seed,
+        )
+        col = self.data.column(attribute)
+        return boot.intervals(
+            {attribute: col.code_of(value)},
+            {attribute: col.code_of(baseline)},
+            self._encode_context(context or {}),
+            level=level,
+        )
+
+    # -- explanations -----------------------------------------------------------
+
+    def explain_global(
+        self,
+        attributes: Sequence[str] | None = None,
+        max_pairs_per_attribute: int | None = 8,
+    ) -> GlobalExplanation:
+        """Population-level explanation (context ``K = ∅``)."""
+        return build_global_explanation(
+            self.estimator,
+            list(attributes or self.attributes),
+            context=None,
+            max_pairs_per_attribute=max_pairs_per_attribute,
+        )
+
+    def explain_context(
+        self,
+        context: Mapping[str, Any],
+        attributes: Sequence[str] | None = None,
+        max_pairs_per_attribute: int | None = 8,
+    ) -> GlobalExplanation:
+        """Sub-population explanation for a user-defined context ``k``."""
+        if not context:
+            raise ValueError("context must not be empty; use explain_global")
+        return build_global_explanation(
+            self.estimator,
+            list(attributes or self.attributes),
+            context=self._encode_context(context),
+            context_labels=dict(context),
+            max_pairs_per_attribute=max_pairs_per_attribute,
+        )
+
+    def explain_local(
+        self,
+        index: int | None = None,
+        individual: Mapping[str, Any] | None = None,
+        attributes: Sequence[str] | None = None,
+    ) -> LocalExplanation:
+        """Individual-level explanation (context ``K = V``).
+
+        Pass either a row ``index`` into :attr:`data` or a decoded
+        ``individual`` mapping covering all attributes.
+        """
+        if (index is None) == (individual is None):
+            raise ValueError("pass exactly one of index / individual")
+        if index is not None:
+            row_codes = self.data.row_codes(int(index))
+            outcome_positive = bool(self._positive[int(index)])
+        else:
+            row_codes = {
+                name: self.data.column(name).code_of(value)
+                for name, value in individual.items()
+                if name in self.data
+            }
+            single = self.data.take(np.array([0]))
+            for name, code in row_codes.items():
+                col = single.column(name)
+                single = single.with_column(
+                    col.replaced(np.array([code], dtype=np.int64))
+                )
+            outcome_positive = bool(self.predict_positive(single)[0])
+        return build_local_explanation(
+            self.estimator,
+            row_codes,
+            outcome_positive,
+            list(attributes or self.attributes),
+        )
+
+    # -- recourse ---------------------------------------------------------------
+
+    def recourse(
+        self,
+        index: int,
+        actionable: Sequence[str],
+        alpha: float = 0.8,
+        cost_fn: CostFn | None = None,
+    ) -> Recourse:
+        """Minimal-cost recourse for the individual at ``index``."""
+        key = (tuple(sorted(actionable)), cost_fn)
+        solver = self._recourse_solvers.get(key)
+        if solver is None:
+            solver = RecourseSolver(self.estimator, list(actionable), cost_fn)
+            self._recourse_solvers[key] = solver
+        return solver.solve(self.data.row_codes(int(index)), alpha=alpha)
+
+    def negative_indices(self) -> np.ndarray:
+        """Row indices of individuals with the negative decision."""
+        return np.nonzero(~self._positive)[0]
+
+    def positive_indices(self) -> np.ndarray:
+        """Row indices of individuals with the positive decision."""
+        return np.nonzero(self._positive)[0]

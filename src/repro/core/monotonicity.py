@@ -1,0 +1,50 @@
+"""Monotonicity diagnostics (Proposition 4.2's key assumption).
+
+Proposition 4.2's point estimates require the algorithm to be monotone
+relative to the contrasted values: raising ``X`` never flips a positive
+decision to negative.  With only observational data the assumption can
+be *probed* by checking that ``Pr(o | x, k)`` is non-decreasing in the
+attribute's ordinal codes; with the generating SCM in hand the exact
+violation measure ``Λ_viol = Pr(o'_{X<-x} | o, x')`` of Section 5.5 is
+available through
+:meth:`repro.causal.ground_truth.GroundTruthScores.monotonicity_violation`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.table import Table
+
+
+def empirical_monotonicity_violation(
+    table: Table,
+    positive: np.ndarray,
+    attribute: str,
+    context: Mapping[str, int] | None = None,
+) -> float:
+    """Largest observed drop of ``Pr(o | x, k)`` along the value order.
+
+    Returns 0 when the conditional positive rate is non-decreasing in the
+    attribute's codes (consistent with monotonicity); positive values
+    report the biggest step-down between consecutive supported values —
+    an observational symptom of violation, not the exact ``Λ_viol``.
+    """
+    positive = np.asarray(positive, dtype=bool)
+    if len(positive) != len(table):
+        raise ValueError("positive vector length must match the table")
+    mask = np.ones(len(table), dtype=bool)
+    for name, code in (context or {}).items():
+        mask &= table.codes(name) == int(code)
+    codes = table.codes(attribute)
+    rates = []
+    for code in range(table.column(attribute).cardinality):
+        members = mask & (codes == code)
+        if members.any():
+            rates.append(float(positive[members].mean()))
+    worst = 0.0
+    for prev, nxt in zip(rates[:-1], rates[1:]):
+        worst = max(worst, prev - nxt)
+    return worst

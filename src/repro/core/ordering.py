@@ -1,0 +1,92 @@
+"""Inferring attribute-value orderings from the black box (Section 4.1).
+
+LEWIS assumes an ordinal importance of attribute values (``x > x'`` means
+``x`` is more favourable). For categorical attributes without a natural
+order, the paper infers one "by comparing the output of the algorithm for
+x and x'": each candidate value is probed by setting the whole population
+to that value and measuring the average positive decision — a direct
+interventional probe of the deterministic algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.table import Column, Table
+
+
+def infer_value_order(
+    predict_positive: Callable[[Table], np.ndarray],
+    table: Table,
+    attribute: str,
+    max_probe_rows: int = 2_000,
+    seed: int | None = 0,
+) -> list:
+    """Return the attribute's categories ordered from least to most favourable.
+
+    Parameters
+    ----------
+    predict_positive:
+        Maps a feature table to a boolean/0-1 vector of positive decisions
+        — typically ``lambda t: model.predict_codes(t) == positive_code``.
+    table:
+        Population to probe (subsampled to ``max_probe_rows``).
+    attribute:
+        The column whose domain should be ordered.
+    """
+    col = table.column(attribute)
+    if len(table) > max_probe_rows:
+        rng = np.random.default_rng(seed)
+        table = table.take(rng.choice(len(table), max_probe_rows, replace=False))
+        col = table.column(attribute)
+
+    favourability = []
+    for code in range(col.cardinality):
+        probed = table.with_column(
+            Column.from_codes(
+                attribute,
+                np.full(len(table), code, dtype=np.int64),
+                col.categories,
+                col.ordered,
+            )
+        )
+        rate = float(np.mean(np.asarray(predict_positive(probed), dtype=float)))
+        favourability.append((rate, code))
+    favourability.sort()
+    return [col.categories[code] for _rate, code in favourability]
+
+
+def order_table_attributes(
+    predict_positive: Callable[[Table], np.ndarray],
+    table: Table,
+    attributes: Sequence[str] | None = None,
+    max_probe_rows: int = 2_000,
+    seed: int | None = 0,
+) -> Table:
+    """Reorder every unordered attribute's domain by inferred favourability.
+
+    Ordered (ordinal) columns are left untouched; unordered ones are
+    reordered so downstream score computation can rely on
+    ``code(x) > code(x')  <=>  x more favourable than x'``.
+
+    All probes run against the *original* table: ``predict_positive``
+    must see the attribute codes the black box was trained on, so the
+    orderings are computed first and only then applied. Callers that keep
+    using the black box afterwards must translate reordered codes back to
+    the original domain (see :meth:`repro.core.lewis.Lewis.predict_positive`).
+    """
+    attributes = list(attributes) if attributes is not None else table.names
+    orders: dict[str, list] = {}
+    for name in attributes:
+        col = table.column(name)
+        if col.ordered or col.cardinality < 2:
+            continue
+        orders[name] = infer_value_order(
+            predict_positive, table, name, max_probe_rows=max_probe_rows, seed=seed
+        )
+    out = table
+    for name, order in orders.items():
+        out = out.with_column(out.column(name).with_order(order))
+    return out

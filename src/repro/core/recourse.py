@@ -1,0 +1,288 @@
+"""Counterfactual recourse as a 0-1 integer program (Section 4.2).
+
+For an individual with a negative decision, find the minimum-cost
+intervention over a user-specified set of actionable attributes whose
+sufficiency score exceeds a threshold ``alpha``:
+
+    min  sum_A phi_A(a_A, a_hat_A) * delta_{A, a_hat}
+    s.t. SUF_{a_hat}(v) >= alpha
+         sum_{a_hat} delta_{A, a_hat} <= 1       for each A
+         delta in {0, 1}
+
+The sufficiency constraint is linearised through the logit model of
+``Pr(o | A, K)`` (Eq. 28): the constraint becomes a linear inequality
+over the deltas with coefficients equal to per-category log-odds
+differences. After solving, the recourse is re-scored with the exact
+estimator and, when the IP's linear surrogate proves too optimistic, the
+threshold is tightened and the IP re-solved (a standard cut loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.scores import ScoreEstimator
+from repro.data.table import Table
+from repro.estimation.logit import LogitModel, logit
+from repro.opt.branch_and_bound import solve_binary_program
+from repro.opt.integer_program import IntegerProgram
+from repro.utils.exceptions import RecourseInfeasibleError
+from repro.utils.validation import check_probability
+
+CostFn = Callable[[str, int, int], float]
+
+
+def unit_step_cost(attribute: str, current_code: int, new_code: int) -> float:
+    """Default cost: one unit per ordinal step moved."""
+    return float(abs(new_code - current_code))
+
+
+@dataclass(frozen=True)
+class RecourseAction:
+    """One attribute change: ``attribute: current -> new``."""
+
+    attribute: str
+    current_value: Any
+    new_value: Any
+    cost: float
+
+
+@dataclass
+class Recourse:
+    """A recommended intervention with its estimated effect."""
+
+    actions: list[RecourseAction]
+    total_cost: float
+    estimated_sufficiency: float
+    estimated_probability: float
+    threshold: float
+    n_constraints: int
+    n_variables: int
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no action is needed (constraint already satisfied)."""
+        return not self.actions
+
+    def as_dict(self) -> dict[str, Any]:
+        """``{attribute: new value}`` for the recommended intervention."""
+        return {a.attribute: a.new_value for a in self.actions}
+
+    def statements(self) -> list[str]:
+        """Human-readable action list in the style of Figure 1."""
+        if self.is_empty:
+            return ["No action needed: the target probability is already met."]
+        lines = [
+            f"Change {a.attribute} from {a.current_value!r} to {a.new_value!r}"
+            for a in self.actions
+        ]
+        lines.append(
+            f"This recourse will lead to a positive decision with probability "
+            f">= {self.estimated_sufficiency:.0%}."
+        )
+        return lines
+
+
+class RecourseSolver:
+    """Builds and solves the recourse IP for one population.
+
+    Parameters
+    ----------
+    estimator:
+        Score estimator over the black box's input-output table.
+    actionable:
+        Attribute names a recourse may change.
+    cost_fn:
+        ``cost_fn(attribute, current_code, new_code) -> float``; defaults
+        to :func:`unit_step_cost`.
+    """
+
+    def __init__(
+        self,
+        estimator: ScoreEstimator,
+        actionable: Sequence[str],
+        cost_fn: CostFn | None = None,
+    ):
+        if not actionable:
+            raise ValueError("actionable set must not be empty")
+        self._est = estimator
+        self.actionable = list(actionable)
+        self.cost_fn = cost_fn or unit_step_cost
+        table = estimator.table
+        missing = [a for a in self.actionable if a not in table]
+        if missing:
+            raise KeyError(f"actionable attributes not in the data: {missing}")
+        # Context: non-descendants of the actionable set (Section 4.2).
+        feature_names = [n for n in table.names if n != estimator._outcome]
+        diagram = estimator.diagram
+        if diagram is not None:
+            known = [a for a in self.actionable if a in diagram]
+            context_names = sorted(
+                diagram.non_descendants_of(known)
+                & set(feature_names)
+                - set(self.actionable)
+            )
+        else:
+            context_names = [n for n in feature_names if n not in self.actionable]
+        self.context_names = context_names
+        self._logit = LogitModel(self.actionable, context_names)
+        self._logit.fit(table.select(feature_names), estimator._positive)
+
+    # -- IP construction ---------------------------------------------------
+
+    def _build_program(
+        self,
+        row_codes: Mapping[str, int],
+        threshold: float,
+    ) -> IntegerProgram:
+        table = self._est.table
+        program = IntegerProgram()
+        context = {n: int(row_codes[n]) for n in self.context_names}
+        current = {a: int(row_codes[a]) for a in self.actionable}
+
+        base_logit = self._logit.score_codes({**current, **context})
+        needed = logit(threshold) - base_logit
+
+        gain_coeffs: dict = {}
+        for attribute in self.actionable:
+            col = table.column(attribute)
+            cur = current[attribute]
+            exclusivity: dict = {}
+            for code in range(col.cardinality):
+                if code == cur:
+                    continue
+                name = (attribute, code)
+                program.add_variable(
+                    name, cost=self.cost_fn(attribute, cur, code)
+                )
+                gain_coeffs[name] = self._logit.coefficient(
+                    attribute, code
+                ) - self._logit.coefficient(attribute, cur)
+                exclusivity[name] = 1.0
+            if exclusivity:
+                program.add_le_constraint(exclusivity, 1.0)
+        program.add_ge_constraint(gain_coeffs, needed)
+        return program
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(
+        self,
+        row_codes: Mapping[str, int],
+        alpha: float = 0.8,
+        max_refinements: int = 4,
+    ) -> Recourse:
+        """Compute minimal-cost recourse for one individual.
+
+        ``alpha`` is the target sufficiency; Eq. (28) converts it into the
+        probability threshold ``Pr(o|a,k) + alpha * Pr(o'|a,k)``. Raises
+        :class:`RecourseInfeasibleError` when no intervention on the
+        actionable set achieves it.
+        """
+        check_probability(alpha, "alpha")
+        table = self._est.table
+        context = {n: int(row_codes[n]) for n in self.context_names}
+        current = {a: int(row_codes[a]) for a in self.actionable}
+
+        base_prob = self._logit.probability_codes({**current, **context})
+        if base_prob >= alpha:
+            # Constraint (25) already holds with delta = 0: the paper's
+            # "no action is taken" case.
+            return Recourse(
+                actions=[],
+                total_cost=0.0,
+                estimated_sufficiency=1.0,
+                estimated_probability=base_prob,
+                threshold=base_prob,
+                n_constraints=0,
+                n_variables=0,
+            )
+        threshold = base_prob + alpha * (1.0 - base_prob)
+        threshold = min(threshold, 1.0 - 1e-6)
+
+        last_error: Exception | None = None
+        for _refine in range(max_refinements):
+            program = self._build_program(row_codes, threshold)
+            if program.n_variables == 0:
+                # No candidate action exists (all actionable attributes
+                # are stuck at their only value) and the threshold is not
+                # yet met: provably infeasible.
+                raise RecourseInfeasibleError(
+                    f"no candidate values on {self.actionable} and the "
+                    f"target probability is not met"
+                )
+            try:
+                solution = solve_binary_program(program)
+            except RecourseInfeasibleError as exc:
+                last_error = exc
+                break
+            chosen = {
+                attr_code: 1 for attr_code, v in solution.values.items() if v == 1
+            }
+            new_codes = dict(current)
+            for (attribute, code) in chosen:
+                new_codes[attribute] = code
+            achieved = self._logit.probability_codes({**new_codes, **context})
+            suf = self._sufficiency(current, new_codes, context)
+            if suf >= alpha - 1e-9:
+                actions = self._actions(table, current, new_codes)
+                return Recourse(
+                    actions=actions,
+                    total_cost=solution.objective,
+                    estimated_sufficiency=suf,
+                    estimated_probability=achieved,
+                    threshold=threshold,
+                    n_constraints=program.n_constraints,
+                    n_variables=program.n_variables,
+                )
+            # Surrogate too optimistic: tighten and re-solve.
+            threshold = min(1.0 - 1e-6, threshold + 0.5 * (1.0 - threshold))
+        raise RecourseInfeasibleError(
+            f"no intervention on {self.actionable} reaches sufficiency {alpha}"
+        ) from last_error
+
+    def _sufficiency(
+        self,
+        current: Mapping[str, int],
+        new_codes: Mapping[str, int],
+        context: Mapping[str, int],
+    ) -> float:
+        changed = {a: c for a, c in new_codes.items() if c != current[a]}
+        if not changed:
+            return self._logit.probability_codes({**current, **context})
+        baseline = {a: current[a] for a in changed}
+        # Exact-estimator check of the surrogate's promise; the logit
+        # model conditions on the individual's full context so it is the
+        # natural local sufficiency estimate as well.
+        probability_new = self._logit.probability_codes({**new_codes, **context})
+        probability_old = self._logit.probability_codes({**current, **context})
+        if probability_old >= 1.0:
+            return 1.0
+        return max(
+            0.0,
+            min(1.0, (probability_new - probability_old) / (1.0 - probability_old)),
+        )
+
+    @staticmethod
+    def _actions(
+        table: Table,
+        current: Mapping[str, int],
+        new_codes: Mapping[str, int],
+    ) -> list[RecourseAction]:
+        actions = []
+        for attribute, code in new_codes.items():
+            if code == current[attribute]:
+                continue
+            categories = table.column(attribute).categories
+            actions.append(
+                RecourseAction(
+                    attribute=attribute,
+                    current_value=categories[current[attribute]],
+                    new_value=categories[code],
+                    cost=float(abs(code - current[attribute])),
+                )
+            )
+        return actions

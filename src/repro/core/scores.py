@@ -1,0 +1,315 @@
+"""Point estimation of the LEWIS explanation scores (Proposition 4.2).
+
+Given the black box's input-output table, a causal diagram, and the
+monotonicity assumption, the three scores of Definition 3.1 reduce to
+observational quantities:
+
+    NEC_x(k)   = [ sum_c Pr(o'|c,x',k) Pr(c|x,k)  - Pr(o'|x,k) ] / Pr(o|x,k)
+    SUF_x(k)   = [ sum_c Pr(o|c,x,k)  Pr(c|x',k)  - Pr(o|x',k) ] / Pr(o'|x',k)
+    NESUF_x(k) = sum_c ( Pr(o|x,k,c) - Pr(o|x',c,k) ) Pr(c|k)
+
+where ``C ∪ K`` satisfies the backdoor criterion relative to ``X`` and
+the algorithm inputs.  When no diagram is supplied LEWIS falls back to
+the no-confounding estimators of Section 6 (``C = ∅``).
+
+Two estimation backends are provided:
+
+* ``frequency`` — smoothed empirical frequencies with explicit adjustment
+  sums; used for global and contextual scores where conditioning events
+  have support.
+* ``regression`` — a per-attribute logistic model of
+  ``Pr(o | X, nondesc(X))``; used for local scores where the context is
+  an individual's full non-descendant assignment (Section 5.2's
+  "regressing over test data predictions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.causal.graph import CausalDiagram
+from repro.causal.identification import BackdoorAdjustment
+from repro.data.table import Column, Table
+from repro.estimation.adjustment import adjusted_probability
+from repro.estimation.outcome_model import OutcomeProbabilityModel
+from repro.estimation.probability import FrequencyEstimator
+from repro.utils.exceptions import EstimationError
+
+
+@dataclass(frozen=True)
+class ScoreTriple:
+    """The three explanation scores for one (attribute(s), x, x', k)."""
+
+    necessity: float
+    sufficiency: float
+    necessity_sufficiency: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the scores keyed by their full names."""
+        return {
+            "necessity": self.necessity,
+            "sufficiency": self.sufficiency,
+            "necessity_sufficiency": self.necessity_sufficiency,
+        }
+
+
+def _clip01(value: float) -> float:
+    return float(min(max(value, 0.0), 1.0))
+
+
+class ScoreEstimator:
+    """Estimates NEC / SUF / NESUF from a black box's input-output table.
+
+    Parameters
+    ----------
+    table:
+        Feature columns of the population being explained.
+    positive:
+        Boolean vector — the black box made the positive decision ``o``.
+    diagram:
+        Optional causal diagram over the feature attributes. Without it
+        the no-confounding estimators are used.
+    outcome_name:
+        Name for the internal binary outcome column (must not clash with
+        a feature name).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        positive: np.ndarray,
+        diagram: CausalDiagram | None = None,
+        outcome_name: str = "__outcome__",
+    ):
+        positive = np.asarray(positive, dtype=bool)
+        if len(positive) != len(table):
+            raise ValueError("positive vector length must match the table")
+        if outcome_name in table:
+            raise ValueError(f"{outcome_name!r} clashes with a feature column")
+        self._features = table
+        self._outcome = outcome_name
+        outcome_col = Column.from_codes(
+            outcome_name, positive.astype(np.int64), (False, True)
+        )
+        self._table = table.with_column(outcome_col)
+        self._freq = FrequencyEstimator(self._table)
+        self._diagram = diagram
+        self._adjuster: BackdoorAdjustment | None = None
+        if diagram is not None:
+            inputs = [n for n in table.names if n in diagram]
+            extended = diagram.with_outcome(outcome_name, inputs)
+            self._adjuster = BackdoorAdjustment(self._freq, extended, outcome_name)
+        self._positive = positive
+        self._local_models: dict[tuple[str, ...], OutcomeProbabilityModel] = {}
+
+    # -- shared plumbing ---------------------------------------------------
+
+    @property
+    def table(self) -> Table:
+        """Features plus the binary outcome column."""
+        return self._table
+
+    @property
+    def frequency_estimator(self) -> FrequencyEstimator:
+        """The underlying smoothed frequency estimator."""
+        return self._freq
+
+    @property
+    def diagram(self) -> CausalDiagram | None:
+        """The background causal diagram, if any."""
+        return self._diagram
+
+    def positive_rate(self, conditions: Mapping[str, int] | None = None) -> float:
+        """``Pr(o | conditions)`` over the population."""
+        return self._freq.probability_or_default(
+            {self._outcome: 1}, dict(conditions or {}), default=0.0
+        )
+
+    def _adjustment_for(
+        self, treatment: Sequence[str], context: Sequence[str]
+    ) -> list[str]:
+        """Adjustment set C for Prop 4.2, empty under no-confounding."""
+        if self._adjuster is None:
+            return []
+        known = [t for t in treatment if t in self._adjuster.diagram.nodes]
+        if len(known) != len(treatment):
+            return []
+        found = self._adjuster.adjustment_set(
+            known, [c for c in context if c in self._adjuster.diagram.nodes]
+        )
+        return found or []
+
+    # -- frequency-backend scores (global / contextual) ------------------------
+
+    def necessity(
+        self,
+        treatment: Mapping[str, int],
+        baseline: Mapping[str, int],
+        context: Mapping[str, int] | None = None,
+    ) -> float:
+        """``NEC^{x'}_x(k)`` point estimate, Eq. (19).
+
+        ``treatment`` holds the factual codes ``x`` and ``baseline`` the
+        counterfactual codes ``x'`` (same keys).
+        """
+        context = dict(context or {})
+        self._check_pair(treatment, baseline)
+        adjustment = self._adjustment_for(list(treatment), list(context))
+        denom = self._freq.probability_or_default(
+            {self._outcome: 1}, {**treatment, **context}, default=0.0
+        )
+        if denom <= 0:
+            return 0.0
+        mixed = adjusted_probability(
+            self._freq,
+            event={self._outcome: 0},
+            treatment=dict(baseline),
+            adjustment=adjustment,
+            weight_condition=dict(treatment),
+            context=context,
+        )
+        plain = self._freq.probability_or_default(
+            {self._outcome: 0}, {**treatment, **context}, default=0.0
+        )
+        return _clip01((mixed - plain) / denom)
+
+    def sufficiency(
+        self,
+        treatment: Mapping[str, int],
+        baseline: Mapping[str, int],
+        context: Mapping[str, int] | None = None,
+    ) -> float:
+        """``SUF^{x'}_x(k)`` point estimate, Eq. (20)."""
+        context = dict(context or {})
+        self._check_pair(treatment, baseline)
+        adjustment = self._adjustment_for(list(treatment), list(context))
+        denom = self._freq.probability_or_default(
+            {self._outcome: 0}, {**baseline, **context}, default=0.0
+        )
+        if denom <= 0:
+            return 0.0
+        mixed = adjusted_probability(
+            self._freq,
+            event={self._outcome: 1},
+            treatment=dict(treatment),
+            adjustment=adjustment,
+            weight_condition=dict(baseline),
+            context=context,
+        )
+        plain = self._freq.probability_or_default(
+            {self._outcome: 1}, {**baseline, **context}, default=0.0
+        )
+        return _clip01((mixed - plain) / denom)
+
+    def necessity_sufficiency(
+        self,
+        treatment: Mapping[str, int],
+        baseline: Mapping[str, int],
+        context: Mapping[str, int] | None = None,
+    ) -> float:
+        """``NESUF^{x'}_x(k)`` point estimate, Eq. (21)."""
+        context = dict(context or {})
+        self._check_pair(treatment, baseline)
+        adjustment = self._adjustment_for(list(treatment), list(context))
+        high = adjusted_probability(
+            self._freq,
+            event={self._outcome: 1},
+            treatment=dict(treatment),
+            adjustment=adjustment,
+            weight_condition={},
+            context=context,
+        )
+        low = adjusted_probability(
+            self._freq,
+            event={self._outcome: 1},
+            treatment=dict(baseline),
+            adjustment=adjustment,
+            weight_condition={},
+            context=context,
+        )
+        return _clip01(high - low)
+
+    def scores(
+        self,
+        treatment: Mapping[str, int],
+        baseline: Mapping[str, int],
+        context: Mapping[str, int] | None = None,
+    ) -> ScoreTriple:
+        """All three scores for one contrast in one call."""
+        return ScoreTriple(
+            necessity=self.necessity(treatment, baseline, context),
+            sufficiency=self.sufficiency(treatment, baseline, context),
+            necessity_sufficiency=self.necessity_sufficiency(
+                treatment, baseline, context
+            ),
+        )
+
+    @staticmethod
+    def _check_pair(treatment: Mapping[str, int], baseline: Mapping[str, int]) -> None:
+        if set(treatment) != set(baseline):
+            raise ValueError(
+                "treatment and baseline must assign the same attributes"
+            )
+        if not treatment:
+            raise ValueError("empty treatment")
+        if all(treatment[k] == baseline[k] for k in treatment):
+            raise ValueError("treatment and baseline are identical")
+
+    # -- regression backend (local scores) ---------------------------------------
+
+    def _local_model(self, features: tuple[str, ...]) -> OutcomeProbabilityModel:
+        if features not in self._local_models:
+            model = OutcomeProbabilityModel(list(features))
+            model.fit(self._features, self._positive)
+            self._local_models[features] = model
+        return self._local_models[features]
+
+    def local_context(self, attribute: str, row_codes: Mapping[str, int]) -> dict[str, int]:
+        """The individual's non-descendant assignment ``k`` for ``attribute``.
+
+        With a diagram, descendants of the attribute respond to the
+        intervention and are excluded from the context; without one, all
+        other attributes are used (the no-confounding reading).
+        """
+        names = set(self._features.names)
+        if self._diagram is not None and attribute in self._diagram:
+            keep = self._diagram.non_descendants(attribute) & names
+        else:
+            keep = names - {attribute}
+        return {n: int(row_codes[n]) for n in sorted(keep) if n in row_codes}
+
+    def local_probability(
+        self, attribute: str, code: int, context: Mapping[str, int]
+    ) -> float:
+        """Smoothed ``Pr(o | X=code, K=context)`` via the regression backend."""
+        features = tuple([attribute, *sorted(context)])
+        model = self._local_model(features)
+        return model.probability({attribute: code, **context})
+
+    def local_scores(
+        self,
+        attribute: str,
+        x: int,
+        x_prime: int,
+        context: Mapping[str, int],
+    ) -> ScoreTriple:
+        """Local NEC / SUF / NESUF under no-confounding given a full context.
+
+        Conditioning on all non-descendants of ``attribute`` includes all
+        of its observed parents, so the no-confounding formulas (Section 6)
+        are causally valid here.
+        """
+        if x == x_prime:
+            raise ValueError("x and x_prime must differ")
+        p_hi = self.local_probability(attribute, x, context)
+        p_lo = self.local_probability(attribute, x_prime, context)
+        nec = (1.0 - p_lo - (1.0 - p_hi)) / p_hi if p_hi > 0 else 0.0
+        suf = (p_hi - p_lo) / (1.0 - p_lo) if p_lo < 1 else 0.0
+        return ScoreTriple(
+            necessity=_clip01(nec),
+            sufficiency=_clip01(suf),
+            necessity_sufficiency=_clip01(p_hi - p_lo),
+        )

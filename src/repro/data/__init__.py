@@ -1,0 +1,39 @@
+"""Datasets and the lightweight tabular container used across the library.
+
+The paper evaluates on four UCI/ProPublica benchmark datasets plus one
+synthetic dataset.  Network access (and pandas) are unavailable in this
+environment, so this subpackage provides:
+
+* :class:`~repro.data.table.Table` / :class:`~repro.data.table.Column` — a
+  small column-typed, discrete-domain tabular store,
+* generators that synthesize statistically faithful replicas of German /
+  Adult / COMPAS / Drug from hand-written structural causal models, and
+* the German-syn generator used for ground-truth validation.
+"""
+
+from repro.data.table import Column, Table
+from repro.data.encoding import OneHotEncoder, ordinal_matrix
+from repro.data.splits import train_test_split
+from repro.data.bundle import DatasetBundle
+
+
+def __getattr__(name: str):
+    # The registry pulls in the dataset generators, which depend on
+    # repro.causal, which depends on repro.data.table — importing it
+    # lazily keeps the package import graph acyclic.
+    if name in ("available_datasets", "load_dataset"):
+        from repro.data import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Column",
+    "Table",
+    "OneHotEncoder",
+    "ordinal_matrix",
+    "train_test_split",
+    "DatasetBundle",
+    "available_datasets",
+    "load_dataset",
+]

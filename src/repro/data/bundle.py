@@ -1,0 +1,68 @@
+"""Dataset bundle: a table plus the causal metadata LEWIS needs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.data.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.causal.graph import CausalDiagram
+    from repro.causal.scm import StructuralCausalModel
+
+
+@dataclass
+class DatasetBundle:
+    """Everything an experiment needs about one dataset.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``"german"``, ``"adult"``, ...).
+    table:
+        Generated rows, label column included.
+    feature_names:
+        Input attributes of the decision algorithm, in order.
+    label:
+        Name of the training label column (the *dataset* outcome, distinct
+        from the black-box prediction column LEWIS explains).
+    positive_label:
+        The label value regarded as the favourable decision ``o``.
+    graph:
+        Background causal diagram over the feature attributes (and label).
+    scm:
+        The generating structural causal model; used for ground-truth
+        counterfactuals on synthetic validation data.
+    actionable:
+        Attributes a recourse intervention may change.
+    contexts:
+        Named sub-population definitions used by contextual experiments,
+        e.g. ``{"young": {"age": "<=30"}}``.
+    """
+
+    name: str
+    table: Table
+    feature_names: list[str]
+    label: str
+    positive_label: Any
+    graph: "CausalDiagram"
+    scm: "StructuralCausalModel | None" = None
+    actionable: list[str] = field(default_factory=list)
+    contexts: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def features(self) -> Table:
+        """Return the feature columns only."""
+        return self.table.select(self.feature_names)
+
+    @property
+    def labels(self) -> Table:
+        """Return the label column as a one-column table."""
+        return self.table.select([self.label])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DatasetBundle({self.name!r}, rows={len(self.table)}, "
+            f"features={len(self.feature_names)}, label={self.label!r})"
+        )

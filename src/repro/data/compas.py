@@ -1,0 +1,169 @@
+"""Synthetic replica of the ProPublica COMPAS dataset.
+
+Generated from an SCM following the fair-inference diagram the paper
+cites (Nabi & Shpitser 2018): demographics (``race``, ``sex``,
+``age_cat``) drive juvenile and adult criminal history, which drive both
+the two-year recidivism label and the COMPAS *software score*.  The
+software-score mechanism deliberately encodes the racial bias ProPublica
+documented (the same criminal history scores higher for Black
+defendants), so the contextual experiments of Figures 4c/4d reproduce
+their shape.
+
+The favourable decision throughout is "predicted NOT to recidivate" /
+"low software score".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal.equations import (
+    deterministic,
+    linear_threshold,
+    logistic_binary,
+    root_categorical,
+)
+from repro.causal.scm import StructuralCausalModel, StructuralEquation
+from repro.data.bundle import DatasetBundle
+from repro.data.table import Table
+
+DOMAINS = {
+    "race": ("White", "Black"),
+    "sex": ("Female", "Male"),
+    "age_cat": ("<25", "25-45", ">45"),
+    "juv_fel_count": ("0", "1", "2+"),
+    "priors_count": ("0", "1-3", "4-9", "10+"),
+    "charge_degree": ("misdemeanor", "felony"),
+}
+
+#: every attribute's favourability is inferred from the black box: more
+#: priors are *worse* for the defendant, so the raw count order is not a
+#: favourability order (Section 4.1's ordering inference).
+UNORDERED = tuple(DOMAINS)
+
+LABEL = "two_year_recid"
+LABEL_DOMAIN = ("no", "yes")
+
+#: the software score column generated alongside the label
+SCORE = "compas_score"
+SCORE_DOMAIN = ("low", "medium", "high")
+
+FEATURES = ["race", "sex", "age_cat", "juv_fel_count", "priors_count", "charge_degree"]
+
+
+def build_compas_scm() -> StructuralCausalModel:
+    """The generating SCM: history drives both the label and the score."""
+    eqs = [
+        StructuralEquation("race", (), DOMAINS["race"], root_categorical([0.45, 0.55])),
+        StructuralEquation("sex", (), DOMAINS["sex"], root_categorical([0.2, 0.8])),
+        StructuralEquation(
+            "age_cat", (), DOMAINS["age_cat"], root_categorical([0.25, 0.55, 0.2])
+        ),
+        StructuralEquation(
+            "juv_fel_count",
+            ("race", "sex", "age_cat"),
+            DOMAINS["juv_fel_count"],
+            linear_threshold(
+                {"race": 0.5, "sex": 0.3, "age_cat": -0.5},
+                bias=0.3,
+                cuts=[0.7, 1.4],
+                noise_scale=0.8,
+            ),
+        ),
+        StructuralEquation(
+            "priors_count",
+            ("race", "sex", "age_cat", "juv_fel_count"),
+            DOMAINS["priors_count"],
+            linear_threshold(
+                {"race": 0.4, "sex": 0.3, "age_cat": 0.3, "juv_fel_count": 0.7},
+                cuts=[0.8, 1.7, 2.6],
+                noise_scale=0.9,
+            ),
+        ),
+        StructuralEquation(
+            "charge_degree",
+            ("priors_count", "juv_fel_count"),
+            DOMAINS["charge_degree"],
+            logistic_binary({"priors_count": 0.4, "juv_fel_count": 0.4}, bias=-1.0),
+        ),
+        StructuralEquation(
+            LABEL,
+            ("priors_count", "juv_fel_count", "age_cat", "charge_degree", "sex"),
+            LABEL_DOMAIN,
+            logistic_binary(
+                {
+                    "priors_count": 0.9,
+                    "juv_fel_count": 0.6,
+                    "age_cat": -0.5,
+                    "charge_degree": 0.3,
+                    "sex": 0.2,
+                },
+                bias=-1.6,
+            ),
+        ),
+        StructuralEquation(
+            SCORE,
+            ("priors_count", "juv_fel_count", "age_cat", "race"),
+            SCORE_DOMAIN,
+            # The documented bias: race enters the *score* directly even
+            # though it does not enter the recidivism mechanism above, and
+            # it amplifies the weight of criminal history.
+            linear_threshold(
+                {
+                    "priors_count": 0.8,
+                    "juv_fel_count": 0.7,
+                    "age_cat": -0.4,
+                    "race": 0.9,
+                },
+                cuts=[1.2, 2.4],
+                noise_scale=0.6,
+            ),
+        ),
+    ]
+    return StructuralCausalModel(eqs)
+
+
+def compas_software_positive(table: Table) -> np.ndarray:
+    """The COMPAS "software" as a black box: positive = LOW risk score.
+
+    A deterministic re-implementation of the score mechanism's central
+    tendency (no exogenous noise), used when experiments explain the
+    software itself rather than a trained classifier (Figures 3c, 4c, 4d).
+    """
+    latent = (
+        0.8 * table.codes("priors_count")
+        + 0.7 * table.codes("juv_fel_count")
+        - 0.4 * table.codes("age_cat")
+        + 0.9 * table.codes("race")
+    )
+    return latent < 1.8  # below the mid cut: low/medium risk
+
+
+def generate_compas(n_rows: int = 5_200, seed: int | None = 0) -> DatasetBundle:
+    """Generate the COMPAS replica as a :class:`DatasetBundle`.
+
+    The bundle's label is two-year recidivism; positive (favourable)
+    decision is ``"no"``. The generated table also carries the
+    ``compas_score`` column for software-score experiments.
+    """
+    scm = build_compas_scm()
+    table = scm.sample(n_rows, seed=seed)
+    for name in UNORDERED:
+        col = table.column(name)
+        table = table.with_column(
+            type(col)(col.name, col.codes, col.categories, ordered=False)
+        )
+    return DatasetBundle(
+        name="compas",
+        table=table,
+        feature_names=list(FEATURES),
+        label=LABEL,
+        positive_label="no",
+        graph=scm.diagram.subgraph(FEATURES),
+        scm=scm,
+        actionable=[],  # criminal history is not actionable (Section 5.3)
+        contexts={
+            "white": {"race": "White"},
+            "black": {"race": "Black"},
+        },
+    )

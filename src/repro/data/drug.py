@@ -1,0 +1,183 @@
+"""Synthetic replica of the UCI drug-consumption dataset.
+
+Per the paper's own description of the causal structure: ``country``,
+``age``, ``gender`` and ``ethnicity`` are root nodes that affect both the
+outcome and the other attributes (education and the five personality
+measurements); the outcome is also affected by those other attributes.
+
+The prediction task is the paper's multi-class one: when the individual
+last consumed magic mushrooms — never / more than a decade ago / within
+the last decade.  The favourable outcome is ``"never"``.
+"""
+
+from __future__ import annotations
+
+from repro.causal.equations import linear_threshold, root_categorical
+from repro.causal.scm import StructuralCausalModel, StructuralEquation
+from repro.data.bundle import DatasetBundle
+
+DOMAINS = {
+    "country": ("UK", "other", "USA"),
+    "age": ("18-24", "25-34", "35-44", "45+"),
+    "gender": ("female", "male"),
+    "ethnicity": ("other", "white"),
+    "edu": ("left school", "some college", "bachelors", "masters+"),
+    "openness": ("low", "medium", "high"),
+    "conscientious": ("low", "medium", "high"),
+    "extraversion": ("low", "medium", "high"),
+    "impulsive": ("low", "medium", "high"),
+    "sensation": ("low", "medium", "high"),
+}
+
+LABEL = "mushrooms"
+#: ordered from most to least favourable (the paper's o1 > o2 > o3)
+LABEL_DOMAIN = ("never", "decade ago", "last decade")
+
+FEATURES = [
+    "country",
+    "age",
+    "gender",
+    "ethnicity",
+    "edu",
+    "openness",
+    "conscientious",
+    "extraversion",
+    "impulsive",
+    "sensation",
+]
+
+#: higher sensation/openness/impulsiveness raise usage (less favourable),
+#: so favourability orderings are inferred from the black box.
+UNORDERED = (
+    "country",
+    "gender",
+    "ethnicity",
+    "openness",
+    "extraversion",
+    "impulsive",
+    "sensation",
+)
+
+
+def build_drug_scm() -> StructuralCausalModel:
+    """The generating SCM; the usage label is the final equation."""
+    eqs = [
+        StructuralEquation(
+            "country", (), DOMAINS["country"], root_categorical([0.55, 0.15, 0.3])
+        ),
+        StructuralEquation(
+            "age", (), DOMAINS["age"], root_categorical([0.35, 0.3, 0.2, 0.15])
+        ),
+        StructuralEquation(
+            "gender", (), DOMAINS["gender"], root_categorical([0.5, 0.5])
+        ),
+        StructuralEquation(
+            "ethnicity", (), DOMAINS["ethnicity"], root_categorical([0.1, 0.9])
+        ),
+        StructuralEquation(
+            "edu",
+            ("age", "country"),
+            DOMAINS["edu"],
+            linear_threshold(
+                {"age": 0.4, "country": 0.2}, cuts=[0.4, 1.1, 1.9], noise_scale=0.9
+            ),
+        ),
+        StructuralEquation(
+            "openness",
+            ("age", "gender"),
+            DOMAINS["openness"],
+            linear_threshold(
+                {"age": -0.2, "gender": 0.15}, bias=1.1, cuts=[0.7, 1.5], noise_scale=0.8
+            ),
+        ),
+        StructuralEquation(
+            "conscientious",
+            ("age",),
+            DOMAINS["conscientious"],
+            linear_threshold({"age": 0.35}, bias=0.4, cuts=[0.7, 1.6], noise_scale=0.8),
+        ),
+        StructuralEquation(
+            "extraversion",
+            ("gender",),
+            DOMAINS["extraversion"],
+            linear_threshold({"gender": 0.2}, bias=0.8, cuts=[0.7, 1.4], noise_scale=0.8),
+        ),
+        StructuralEquation(
+            "impulsive",
+            ("age", "gender"),
+            DOMAINS["impulsive"],
+            linear_threshold(
+                {"age": -0.35, "gender": 0.3}, bias=1.2, cuts=[0.7, 1.6], noise_scale=0.8
+            ),
+        ),
+        StructuralEquation(
+            "sensation",
+            ("age", "gender", "impulsive"),
+            DOMAINS["sensation"],
+            linear_threshold(
+                {"age": -0.3, "gender": 0.25, "impulsive": 0.4},
+                bias=0.9,
+                cuts=[0.8, 1.7],
+                noise_scale=0.8,
+            ),
+        ),
+        StructuralEquation(
+            LABEL,
+            (
+                "country",
+                "age",
+                "sensation",
+                "openness",
+                "impulsive",
+                "edu",
+                "conscientious",
+                "gender",
+                "ethnicity",
+            ),
+            LABEL_DOMAIN,
+            # Latent propensity: countries/personality raise usage;
+            # education and conscientiousness lower it. Code 0 = never.
+            linear_threshold(
+                {
+                    "country": 0.7,
+                    "age": -0.3,
+                    "sensation": 0.7,
+                    "openness": 0.5,
+                    "impulsive": 0.4,
+                    "edu": -0.35,
+                    "conscientious": -0.3,
+                    "gender": 0.2,
+                    "ethnicity": 0.2,
+                },
+                bias=-0.4,
+                cuts=[0.8, 1.6],
+                noise_scale=1.0,
+            ),
+        ),
+    ]
+    return StructuralCausalModel(eqs)
+
+
+def generate_drug(n_rows: int = 1_886, seed: int | None = 0) -> DatasetBundle:
+    """Generate the drug-consumption replica as a :class:`DatasetBundle`."""
+    scm = build_drug_scm()
+    table = scm.sample(n_rows, seed=seed)
+    for name in UNORDERED:
+        col = table.column(name)
+        table = table.with_column(
+            type(col)(col.name, col.codes, col.categories, ordered=False)
+        )
+    return DatasetBundle(
+        name="drug",
+        table=table,
+        feature_names=list(FEATURES),
+        label=LABEL,
+        positive_label="never",
+        graph=scm.diagram.subgraph(FEATURES),
+        scm=scm,
+        actionable=["edu"],
+        contexts={
+            "uk": {"country": "UK"},
+            "usa": {"country": "USA"},
+        },
+    )

@@ -1,0 +1,47 @@
+"""Train/test splitting utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.utils.rng import as_generator
+
+
+def train_test_split(
+    table: Table,
+    test_fraction: float = 0.3,
+    seed: int | np.random.Generator | None = None,
+    stratify: str | None = None,
+) -> tuple[Table, Table]:
+    """Split ``table`` into (train, test) by row shuffling.
+
+    Parameters
+    ----------
+    test_fraction:
+        Fraction of rows assigned to the test split, in (0, 1).
+    stratify:
+        Optional column name; when given, each category contributes
+        proportionally to both splits (useful for rare outcome labels).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_generator(seed)
+    n = len(table)
+    if stratify is None:
+        order = rng.permutation(n)
+        n_test = int(round(n * test_fraction))
+        return table.take(order[n_test:]), table.take(order[:n_test])
+
+    codes = table.codes(stratify)
+    train_idx: list[np.ndarray] = []
+    test_idx: list[np.ndarray] = []
+    for code in np.unique(codes):
+        members = np.nonzero(codes == code)[0]
+        members = rng.permutation(members)
+        n_test = int(round(len(members) * test_fraction))
+        test_idx.append(members[:n_test])
+        train_idx.append(members[n_test:])
+    train = rng.permutation(np.concatenate(train_idx))
+    test = rng.permutation(np.concatenate(test_idx))
+    return table.take(train), table.take(test)

@@ -1,0 +1,191 @@
+"""German-syn and other fully synthetic validation datasets.
+
+``German-syn`` (Table 2 / Figure 11 / Section 5.5) follows the German
+causal graph in miniature: ``age`` and ``sex`` are roots that influence
+the outcome only *indirectly* through ``saving`` and ``status`` (plus
+``housing``), and the outcome is a continuous credit score in [0, 1]
+produced by a smooth non-linear mechanism.  Because the generating SCM is
+known, every estimated score can be compared against Pearl-three-step
+ground truth.
+
+The module also provides the wide chain SCM used by the recourse
+scalability experiment (100 variables, Section 5.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.causal.equations import (
+    deterministic,
+    linear_threshold,
+    logistic_binary,
+    root_categorical,
+)
+from repro.causal.scm import StructuralCausalModel, StructuralEquation
+from repro.data.bundle import DatasetBundle
+
+DOMAINS = {
+    "age": ("<25 yr", "25-40 yr", "40-60 yr", ">60 yr"),
+    "sex": ("Female", "Male"),
+    "saving": ("none", "low", "medium", "high"),
+    "status": ("<0 DM", "0-200 DM", ">200 DM"),
+    "housing": ("rent", "own"),
+}
+
+FEATURES = ["age", "sex", "saving", "status", "housing"]
+
+LABEL = "credit_score"
+#: score discretisation: 41 bins over [0, 1], labelled by bin centres
+SCORE_BINS = 41
+LABEL_DOMAIN = tuple(round(c, 4) for c in np.linspace(0.0, 1.0, SCORE_BINS))
+
+
+def _score_mechanism(violation: float = 0.0):
+    """Continuous credit score from (saving, status, housing, age).
+
+    ``violation`` adds a direct, non-monotone age term (Section 5.5's
+    robustness experiment); at 0 the score is monotone in every ordinal
+    parent and ``age`` acts only through its descendants.
+    """
+    # Non-monotone shape over the four age codes: up then down.
+    nonmono = np.array([0.0, 1.0, -1.0, 0.0])
+
+    def score(parents, u) -> np.ndarray:
+        saving = parents["saving"].astype(float)
+        status = parents["status"].astype(float)
+        housing = parents["housing"].astype(float)
+        latent = (
+            0.9 * status
+            + 0.7 * saving
+            + 0.5 * housing
+            + 0.15 * status * saving
+            - 2.1
+        )
+        if violation:
+            latent = latent + violation * nonmono[parents["age"]]
+        value = 1.0 / (1.0 + np.exp(-latent))
+        codes = np.rint(value * (SCORE_BINS - 1)).astype(np.int64)
+        return codes.clip(0, SCORE_BINS - 1)
+
+    return score
+
+
+def build_german_syn_scm(violation: float = 0.0) -> StructuralCausalModel:
+    """German-syn SCM; pass ``violation > 0`` for the non-monotone variant."""
+    eqs = [
+        StructuralEquation(
+            "age", (), DOMAINS["age"], root_categorical([0.2, 0.35, 0.3, 0.15])
+        ),
+        StructuralEquation("sex", (), DOMAINS["sex"], root_categorical([0.45, 0.55])),
+        StructuralEquation(
+            "saving",
+            ("age", "sex"),
+            DOMAINS["saving"],
+            linear_threshold(
+                {"age": 0.6, "sex": 0.3}, cuts=[0.6, 1.5, 2.4], noise_scale=0.9
+            ),
+        ),
+        StructuralEquation(
+            "status",
+            ("age", "saving"),
+            DOMAINS["status"],
+            linear_threshold(
+                {"age": 0.3, "saving": 0.6}, cuts=[0.9, 2.1], noise_scale=0.8
+            ),
+        ),
+        StructuralEquation(
+            "housing",
+            ("saving",),
+            DOMAINS["housing"],
+            logistic_binary({"saving": 0.8}, bias=-1.4),
+        ),
+        StructuralEquation(
+            LABEL,
+            ("saving", "status", "housing", "age"),
+            LABEL_DOMAIN,
+            _score_mechanism(violation),
+        ),
+    ]
+    return StructuralCausalModel(eqs)
+
+
+def generate_german_syn(
+    n_rows: int = 10_000,
+    seed: int | None = 0,
+    violation: float = 0.0,
+) -> DatasetBundle:
+    """Generate German-syn as a :class:`DatasetBundle`.
+
+    The label column's categories are floats (bin centres of the credit
+    score), so regression models can train on it directly.
+    """
+    scm = build_german_syn_scm(violation)
+    table = scm.sample(n_rows, seed=seed)
+    return DatasetBundle(
+        name="german_syn",
+        table=table,
+        feature_names=list(FEATURES),
+        label=LABEL,
+        positive_label=None,  # regression outcome; threshold at 0.5
+        graph=scm.diagram.subgraph(FEATURES),
+        scm=scm,
+        actionable=["saving", "status", "housing"],
+        contexts={
+            "young": {"age": "<25 yr"},
+            "old": {"age": ">60 yr"},
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# wide synthetic SCM for the recourse scalability experiment
+
+
+def build_wide_scm(
+    n_variables: int = 100,
+    n_levels: int = 3,
+    seed: int | None = 0,
+) -> StructuralCausalModel:
+    """A 100-variable SCM: independent ordinal features -> binary outcome.
+
+    Matches the Section 5.5 scalability setting: the number of IP
+    constraints grows linearly in the number of actionable variables.
+    """
+    rng = np.random.default_rng(seed)
+    domain = tuple(f"v{i}" for i in range(n_levels))
+    eqs = []
+    weights: dict[str, float] = {}
+    probs = np.full(n_levels, 1.0 / n_levels)
+    for i in range(n_variables):
+        name = f"X{i:03d}"
+        eqs.append(StructuralEquation(name, (), domain, root_categorical(probs)))
+        weights[name] = float(rng.uniform(0.2, 0.8))
+    bias = -0.5 * sum(weights.values()) * (n_levels - 1)
+    eqs.append(
+        StructuralEquation(
+            "outcome", tuple(weights), ("bad", "good"), logistic_binary(weights, bias)
+        )
+    )
+    return StructuralCausalModel(eqs)
+
+
+def generate_wide(
+    n_variables: int = 100,
+    n_rows: int = 5_000,
+    seed: int | None = 0,
+) -> DatasetBundle:
+    """Generate the wide scalability dataset as a :class:`DatasetBundle`."""
+    scm = build_wide_scm(n_variables, seed=seed)
+    table = scm.sample(n_rows, seed=seed)
+    features = [n for n in scm.nodes if n != "outcome"]
+    return DatasetBundle(
+        name="wide",
+        table=table,
+        feature_names=features,
+        label="outcome",
+        positive_label="good",
+        graph=scm.diagram.subgraph(features),
+        scm=scm,
+        actionable=list(features),
+    )

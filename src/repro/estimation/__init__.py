@@ -1,0 +1,16 @@
+"""Empirical probability estimation from historical data.
+
+LEWIS treats the decision algorithm as a black box and estimates every
+probability in Propositions 4.1–4.2 from its input-output table.  This
+subpackage provides smoothed conditional-frequency estimation
+(:mod:`repro.estimation.probability`), backdoor-style adjustment sums
+(:mod:`repro.estimation.adjustment`), and the logit regression model used
+to linearise the recourse sufficiency constraint
+(:mod:`repro.estimation.logit`).
+"""
+
+from repro.estimation.probability import FrequencyEstimator
+from repro.estimation.adjustment import adjusted_probability
+from repro.estimation.logit import LogitModel
+
+__all__ = ["FrequencyEstimator", "adjusted_probability", "LogitModel"]

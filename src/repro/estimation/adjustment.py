@@ -1,0 +1,75 @@
+"""Backdoor-adjustment sums over empirical frequencies.
+
+Implements the estimation backbone of Proposition 4.2: terms of the form
+
+    sum_c Pr(o | c, x, k) Pr(c | x', k)
+
+where ``c`` ranges over the observed configurations of an adjustment set
+``C``.  Configurations without support for the inner conditional fall back
+to the unadjusted conditional (equivalent to assuming no effect
+modification on unobserved cells), which keeps the estimator total.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.estimation.probability import FrequencyEstimator
+
+
+def adjusted_probability(
+    estimator: FrequencyEstimator,
+    event: Mapping[str, int],
+    treatment: Mapping[str, int],
+    adjustment: Sequence[str],
+    weight_condition: Mapping[str, int] | None = None,
+    context: Mapping[str, int] | None = None,
+) -> float:
+    """Estimate ``sum_c Pr(event | c, treatment, context) Pr(c | weight_condition, context)``.
+
+    Parameters
+    ----------
+    event:
+        Outcome event codes, e.g. ``{"O": 1}``.
+    treatment:
+        Codes the inner conditional conditions on, e.g. ``{"X": 2}``.
+    adjustment:
+        Names of the adjustment set ``C``. Empty means no adjustment: the
+        result is simply ``Pr(event | treatment, context)``.
+    weight_condition:
+        Codes the mixing weights ``Pr(c | ...)`` condition on. Defaults to
+        ``context`` alone — the plain backdoor formula of Eq. (4). The
+        counterfactual estimators of Prop. 4.2 pass the *other* treatment
+        value here (e.g. weights ``Pr(c | x, k)`` with inner ``Pr(o' | c,
+        x', k)``).
+    context:
+        The sub-population codes ``k`` added to every conditioning event.
+    """
+    context = dict(context or {})
+    weight_condition = dict(weight_condition or {})
+    adjustment = [a for a in adjustment if a not in context]
+    if not adjustment:
+        return estimator.probability(event, {**treatment, **context})
+
+    weights = estimator.group_probabilities(
+        list(adjustment), {**weight_condition, **context}
+    )
+    total = 0.0
+    fallback = None
+    for combo, weight in weights.items():
+        cond = dict(zip(adjustment, combo))
+        cond.update(treatment)
+        cond.update(context)
+        inner = None
+        try:
+            inner = estimator.probability(event, cond)
+        except Exception:
+            # No rows with this (c, x, k) cell: fall back to the
+            # unadjusted conditional so the mixture stays a probability.
+            if fallback is None:
+                fallback = estimator.probability_or_default(
+                    event, {**treatment, **context}, default=0.0
+                )
+            inner = fallback
+        total += weight * inner
+    return total

@@ -1,0 +1,97 @@
+"""Logit model of ``Pr(o | a, k)`` used to linearise the recourse IP.
+
+Section 4.2 of the paper rewrites the sufficiency constraint as
+
+    Pr(o | a_hat, k) >= Pr(o | a, k) + alpha * Pr(o' | a, k)
+
+and estimates the logit of the left-hand side with a linear model over
+the actionable attributes.  :class:`LogitModel` fits a logistic
+regression of the black box's positive decision on one-hot indicators of
+the actionable attributes plus the (fixed) context attributes; the
+per-category coefficients become the weights of the IP's linear
+constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.encoding import OneHotEncoder
+from repro.data.table import Table
+from repro.models.linear import LogisticRegression
+from repro.utils.validation import check_fitted
+
+
+def logit(p: float, eps: float = 1e-6) -> float:
+    """Numerically clipped log-odds."""
+    p = min(max(p, eps), 1 - eps)
+    return float(np.log(p / (1 - p)))
+
+
+class LogitModel:
+    """Linear log-odds model of the positive decision.
+
+    Parameters
+    ----------
+    actionable:
+        Attribute names whose coefficients the recourse IP optimises over.
+    context:
+        Attribute names held fixed (non-descendants of the actionable set);
+        they enter the regression so the model conditions on ``k``.
+    """
+
+    def __init__(
+        self,
+        actionable: Sequence[str],
+        context: Sequence[str] = (),
+        l2: float = 1.0,
+    ):
+        # The default L2 is deliberately strong: sparse one-hot cells are
+        # quasi-separated, and an under-regularised fit extrapolates to
+        # saturated probabilities that make the recourse IP accept
+        # ineffective actions.
+        self.actionable = list(actionable)
+        self.context = list(context)
+        self.l2 = float(l2)
+        self._encoder: OneHotEncoder | None = None
+        self._model: LogisticRegression | None = None
+
+    def fit(self, table: Table, positive: np.ndarray) -> "LogitModel":
+        """Fit on ``table`` with boolean vector ``positive`` (O = o)."""
+        positive = np.asarray(positive, dtype=bool)
+        if len(positive) != len(table):
+            raise ValueError("positive vector length must match the table")
+        features = self.actionable + self.context
+        self._encoder = OneHotEncoder(drop_first=True).fit(table.select(features))
+        X = self._encoder.transform(table.select(features))
+        self._model = LogisticRegression(l2=self.l2)
+        self._model.fit(X, positive.astype(int))
+        return self
+
+    # -- coefficient views used by the IP builder -----------------------------
+
+    def coefficient(self, attribute: str, code: int) -> float:
+        """Log-odds contribution of ``attribute`` taking ``code``.
+
+        The dropped first category contributes 0 by construction.
+        """
+        check_fitted(self, "_model")
+        if code == 0:
+            return 0.0
+        block = self._encoder.feature_slice(attribute)
+        return float(self._model.coef_[0][block.start + code - 1])
+
+    def score_codes(self, codes: Mapping[str, int]) -> float:
+        """Log-odds of the positive decision for a full code assignment."""
+        check_fitted(self, "_model")
+        row = self._encoder.transform_codes(
+            {name: codes[name] for name in self.actionable + self.context}
+        )
+        return float(self._model.decision_function(row.reshape(1, -1))[0])
+
+    def probability_codes(self, codes: Mapping[str, int]) -> float:
+        """``Pr(o | codes)`` under the fitted model."""
+        z = self.score_codes(codes)
+        return float(1.0 / (1.0 + np.exp(-z)))

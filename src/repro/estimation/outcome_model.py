@@ -1,0 +1,70 @@
+"""Smoothed conditional-outcome model for sparse (local) contexts.
+
+Local explanations condition on an individual's full non-descendant
+context (Section 3.2, ``K = V``), where raw empirical frequencies have
+little or no support.  Following the paper's setup ("estimated
+conditional probabilities in (19)-(21) by regressing over test data
+predictions"), :class:`OutcomeProbabilityModel` fits a logistic
+regression of the black box's positive decision on one-hot indicators of
+a chosen feature subset and answers ``Pr(o | features = codes)`` for any
+code assignment — observed or not.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.encoding import OneHotEncoder
+from repro.data.table import Table
+from repro.models.linear import LogisticRegression
+from repro.utils.validation import check_fitted
+
+
+class OutcomeProbabilityModel:
+    """``Pr(o | subset of attributes)`` via one-hot logistic regression."""
+
+    def __init__(self, features: Sequence[str], l2: float = 1e-3):
+        self.features = list(features)
+        self.l2 = l2
+        self._encoder: OneHotEncoder | None = None
+        self._model: LogisticRegression | None = None
+        self._constant: float | None = None
+
+    def fit(self, table: Table, positive: np.ndarray) -> "OutcomeProbabilityModel":
+        """Fit on ``table`` against the boolean positive-decision vector."""
+        positive = np.asarray(positive, dtype=bool)
+        if len(positive) != len(table):
+            raise ValueError("positive vector length must match the table")
+        subset = table.select(self.features)
+        self._encoder = OneHotEncoder(drop_first=True).fit(subset)
+        X = self._encoder.transform(subset)
+        if positive.all() or not positive.any():
+            # Degenerate outcome: the regression is a constant.
+            self._constant = float(positive.mean())
+            self._model = None
+            return self
+        self._constant = None
+        self._model = LogisticRegression(l2=self.l2)
+        self._model.fit(X, positive.astype(int))
+        return self
+
+    def probability(self, codes: Mapping[str, int]) -> float:
+        """``Pr(o | features = codes)`` for one assignment."""
+        check_fitted(self, "_encoder")
+        if self._constant is not None:
+            return self._constant
+        row = self._encoder.transform_codes(
+            {name: int(codes[name]) for name in self.features}
+        )
+        z = float(self._model.decision_function(row.reshape(1, -1))[0])
+        return float(1.0 / (1.0 + np.exp(-z)))
+
+    def probability_table(self, table: Table) -> np.ndarray:
+        """Vectorised ``Pr(o | row)`` for every row of ``table``."""
+        check_fitted(self, "_encoder")
+        if self._constant is not None:
+            return np.full(len(table), self._constant)
+        X = self._encoder.transform(table.select(self.features))
+        return self._model.predict_proba(X)[:, 1]

@@ -1,0 +1,151 @@
+"""Smoothed empirical conditional probabilities over a :class:`Table`.
+
+All LEWIS quantities reduce to conditional frequencies of the form
+``Pr(event | condition)`` over the black box's input-output table.  The
+estimator here works on *code-level* conditions (``{column: code}``)
+because the score layer manipulates codes; a label-level convenience
+wrapper is provided for user-facing call sites.
+
+Laplace smoothing is available to keep estimates defined on sparse
+conditioning events; the default ``alpha=0`` reproduces raw frequencies
+(what the paper's estimators use) and callers fall back explicitly when a
+condition has no support.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.utils.exceptions import EstimationError
+
+
+class FrequencyEstimator:
+    """Conditional frequency estimation with optional Laplace smoothing."""
+
+    def __init__(self, table: Table, alpha: float = 0.0):
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self._table = table
+        self._alpha = float(alpha)
+        self._n = len(table)
+        self._mask_cache: dict[tuple, np.ndarray] = {}
+
+    @property
+    def table(self) -> Table:
+        """The underlying data table."""
+        return self._table
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows backing the estimates."""
+        return self._n
+
+    # -- masks -----------------------------------------------------------
+
+    def _mask(self, conditions: Mapping[str, int]) -> np.ndarray:
+        """Boolean mask of rows matching code-level equality conditions."""
+        key = tuple(sorted(conditions.items()))
+        cached = self._mask_cache.get(key)
+        if cached is not None:
+            return cached
+        mask = np.ones(self._n, dtype=bool)
+        for name, code in conditions.items():
+            mask &= self._table.codes(name) == int(code)
+        if len(self._mask_cache) < 4096:
+            self._mask_cache[key] = mask
+        return mask
+
+    def count(self, conditions: Mapping[str, int]) -> int:
+        """Number of rows matching the conditions."""
+        return int(self._mask(conditions).sum())
+
+    # -- probabilities ------------------------------------------------------
+
+    def probability(
+        self,
+        event: Mapping[str, int],
+        given: Mapping[str, int] | None = None,
+    ) -> float:
+        """Estimate ``Pr(event | given)`` with Laplace smoothing.
+
+        Raises :class:`EstimationError` when the conditioning event has no
+        support and no smoothing is enabled.
+        """
+        given = given or {}
+        overlap = set(event) & set(given)
+        for name in overlap:
+            if event[name] != given[name]:
+                return 0.0
+        event = {k: v for k, v in event.items() if k not in given}
+        if not event:
+            return 1.0
+        denom_mask = self._mask(given) if given else np.ones(self._n, dtype=bool)
+        denom = int(denom_mask.sum())
+        joint = {**given, **event}
+        numer = int((self._mask(joint)).sum())
+        # Smoothing spreads `alpha` pseudo-counts over the joint domain of
+        # the event columns.
+        if self._alpha > 0:
+            cells = 1
+            for name in event:
+                cells *= len(self._table.domain(name))
+            return (numer + self._alpha) / (denom + self._alpha * cells)
+        if denom == 0:
+            raise EstimationError(
+                f"no rows satisfy conditioning event {given!r}"
+            )
+        return numer / denom
+
+    def probability_or_default(
+        self,
+        event: Mapping[str, int],
+        given: Mapping[str, int] | None = None,
+        default: float = 0.0,
+    ) -> float:
+        """Like :meth:`probability` but returns ``default`` on no support."""
+        try:
+            return self.probability(event, given)
+        except EstimationError:
+            return default
+
+    # -- label-level convenience ------------------------------------------------
+
+    def encode(self, labels: Mapping[str, Any]) -> dict[str, int]:
+        """Translate ``{column: label}`` to ``{column: code}``."""
+        return {
+            name: self._table.column(name).code_of(value)
+            for name, value in labels.items()
+        }
+
+    def probability_labels(
+        self,
+        event: Mapping[str, Any],
+        given: Mapping[str, Any] | None = None,
+    ) -> float:
+        """Label-level wrapper around :meth:`probability`."""
+        return self.probability(self.encode(event), self.encode(given or {}))
+
+    # -- grouped views ------------------------------------------------------
+
+    def group_probabilities(
+        self,
+        names: list[str],
+        given: Mapping[str, int] | None = None,
+    ) -> dict[tuple[int, ...], float]:
+        """Joint distribution of code combinations of ``names`` given a condition.
+
+        Returns ``{(codes...): probability}`` over the *observed* support.
+        """
+        mask = self._mask(given) if given else np.ones(self._n, dtype=bool)
+        total = int(mask.sum())
+        if total == 0:
+            raise EstimationError(f"no rows satisfy conditioning event {given!r}")
+        matrix = self._table.codes_matrix(names)[mask]
+        uniques, counts = np.unique(matrix, axis=0, return_counts=True)
+        return {
+            tuple(int(c) for c in combo): int(count) / total
+            for combo, count in zip(uniques, counts)
+        }

@@ -1,0 +1,102 @@
+"""Estimator protocols shared by the ML substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_fitted
+
+
+def _as_matrix(X) -> np.ndarray:
+    """Coerce input features to a 2-D float matrix."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if X.ndim != 2:
+        raise ValueError(f"expected 2-D feature matrix, got shape {X.shape}")
+    return X
+
+
+class BaseClassifier:
+    """Common surface for classifiers: fit / predict / predict_proba.
+
+    Subclasses implement ``_fit(X, y_indices, n_classes)`` and
+    ``_predict_proba(X)``; label-to-index bookkeeping lives here.
+    """
+
+    def __init__(self):
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "BaseClassifier":
+        """Fit on features ``X`` and integer/categorical labels ``y``."""
+        X = _as_matrix(X)
+        y = np.asarray(y)
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes to fit a classifier")
+        self._fit(X, y_idx.astype(np.int64), len(self.classes_))
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Return an ``(n, n_classes)`` matrix of class probabilities."""
+        check_fitted(self, "classes_")
+        return self._predict_proba(_as_matrix(X))
+
+    def predict(self, X) -> np.ndarray:
+        """Return the most probable class label per row."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X, y) -> float:
+        """Accuracy on ``(X, y)``."""
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def _fit(self, X: np.ndarray, y_idx: np.ndarray, n_classes: int) -> None:
+        raise NotImplementedError
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class BaseRegressor:
+    """Common surface for regressors: fit / predict."""
+
+    def __init__(self):
+        self.is_fitted_: bool | None = None
+
+    def fit(self, X, y) -> "BaseRegressor":
+        """Fit on features ``X`` and real-valued targets ``y``."""
+        X = _as_matrix(X)
+        y = np.asarray(y, dtype=np.float64)
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)}")
+        self._fit(X, y)
+        self.is_fitted_ = True
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Return predicted targets for each row of ``X``."""
+        check_fitted(self, "is_fitted_")
+        return self._predict(_as_matrix(X))
+
+    def score(self, X, y) -> float:
+        """R^2 on ``(X, y)``."""
+        y = np.asarray(y, dtype=np.float64)
+        pred = self.predict(X)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        if ss_tot == 0:
+            return 0.0
+        return 1.0 - ss_res / ss_tot
+
+    # -- subclass hooks ---------------------------------------------------
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        raise NotImplementedError

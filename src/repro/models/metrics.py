@@ -1,0 +1,59 @@
+"""Evaluation metrics for the ML substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    if len(y_true) == 0:
+        raise ValueError("empty inputs")
+    return float(np.mean(y_true == y_pred))
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def log_loss(y_true_idx, proba, eps: float = 1e-12) -> float:
+    """Cross-entropy given integer class indices and a probability matrix."""
+    proba = np.clip(np.asarray(proba, dtype=float), eps, 1.0)
+    y = np.asarray(y_true_idx, dtype=int)
+    return float(-np.mean(np.log(proba[np.arange(len(y)), y])))
+
+
+def roc_auc(y_true, scores) -> float:
+    """Binary AUC via the rank statistic (ties handled by midranks)."""
+    y = np.asarray(y_true).astype(bool)
+    s = np.asarray(scores, dtype=float)
+    n_pos, n_neg = int(y.sum()), int((~y).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC requires both classes present")
+    order = np.argsort(s, kind="stable")
+    ranks = np.empty(len(s), dtype=float)
+    sorted_scores = s[order]
+    i = 0
+    while i < len(s):
+        j = i
+        while j + 1 < len(s) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return float((ranks[y].sum() - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Counts matrix ``C[i, j]`` = true label i predicted as j."""
+    y_true, y_pred = np.asarray(y_true), np.asarray(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {lab: i for i, lab in enumerate(labels)}
+    out = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        out[index[t], index[p]] += 1
+    return out

@@ -1,0 +1,122 @@
+"""Feed-forward neural network classifier (MLP + ReLU + Adam).
+
+Stand-in for the paper's fastai tabular learner: a fully connected
+network over one-hot inputs, trained with mini-batch Adam on the
+cross-entropy loss. Inputs are standardised internally so callers can
+feed raw encoded matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseClassifier
+from repro.utils.rng import as_generator
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class NeuralNetworkClassifier(BaseClassifier):
+    """Multi-layer perceptron with ReLU activations."""
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (64, 32),
+        epochs: int = 30,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-4,
+        seed: int | np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.seed = seed
+        self.weights_: list[np.ndarray] | None = None
+        self.biases_: list[np.ndarray] | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    # -- forward / backward ------------------------------------------------
+
+    def _forward(self, X: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        """Return (pre-activation inputs per layer, output probabilities)."""
+        activations = [X]
+        h = X
+        for i, (W, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = h @ W + b
+            if i < len(self.weights_) - 1:
+                h = np.maximum(z, 0.0)
+            else:
+                h = z
+            activations.append(h)
+        return activations, _softmax(activations[-1])
+
+    def _fit(self, X: np.ndarray, y_idx: np.ndarray, n_classes: int) -> None:
+        rng = as_generator(self.seed)
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0] = 1.0
+        self._std = std
+        Xs = (X - self._mean) / self._std
+
+        sizes = [X.shape[1], *self.hidden_sizes, n_classes]
+        self.weights_ = [
+            rng.normal(0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self.biases_ = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+
+        # Adam state
+        m_w = [np.zeros_like(W) for W in self.weights_]
+        v_w = [np.zeros_like(W) for W in self.weights_]
+        m_b = [np.zeros_like(b) for b in self.biases_]
+        v_b = [np.zeros_like(b) for b in self.biases_]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        onehot = np.zeros((len(y_idx), n_classes))
+        onehot[np.arange(len(y_idx)), y_idx] = 1.0
+
+        n = len(Xs)
+        for _epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                xb, yb = Xs[batch], onehot[batch]
+                activations, probs = self._forward(xb)
+                grad = (probs - yb) / len(batch)
+                grads_w, grads_b = [], []
+                for layer in reversed(range(len(self.weights_))):
+                    a_in = activations[layer]
+                    grads_w.append(a_in.T @ grad + self.weight_decay * self.weights_[layer])
+                    grads_b.append(grad.sum(axis=0))
+                    if layer > 0:
+                        grad = grad @ self.weights_[layer].T
+                        grad = grad * (activations[layer] > 0)
+                grads_w.reverse()
+                grads_b.reverse()
+                step += 1
+                for i in range(len(self.weights_)):
+                    m_w[i] = beta1 * m_w[i] + (1 - beta1) * grads_w[i]
+                    v_w[i] = beta2 * v_w[i] + (1 - beta2) * grads_w[i] ** 2
+                    m_b[i] = beta1 * m_b[i] + (1 - beta1) * grads_b[i]
+                    v_b[i] = beta2 * v_b[i] + (1 - beta2) * grads_b[i] ** 2
+                    mw_hat = m_w[i] / (1 - beta1**step)
+                    vw_hat = v_w[i] / (1 - beta2**step)
+                    mb_hat = m_b[i] / (1 - beta1**step)
+                    vb_hat = v_b[i] / (1 - beta2**step)
+                    self.weights_[i] -= self.learning_rate * mw_hat / (np.sqrt(vw_hat) + eps)
+                    self.biases_[i] -= self.learning_rate * mb_hat / (np.sqrt(vb_hat) + eps)
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        Xs = (X - self._mean) / self._std
+        _, probs = self._forward(Xs)
+        return probs

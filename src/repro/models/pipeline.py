@@ -1,0 +1,146 @@
+"""Table-level model wrapper: the "black box f" surface LEWIS consumes.
+
+LEWIS only ever observes a decision algorithm through its input-output
+behaviour over a :class:`~repro.data.table.Table`.  :class:`TableModel`
+bundles a feature encoding and a fitted estimator behind a uniform
+``predict_codes`` / ``predict_value`` interface, and
+:func:`fit_table_model` is the one-call factory used throughout tests,
+examples and benchmarks for the paper's four black-box families.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.encoding import OneHotEncoder, ordinal_matrix
+from repro.data.table import Table
+from repro.models.boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.models.forest import RandomForestClassifier, RandomForestRegressor
+from repro.models.linear import LogisticRegression
+from repro.models.neural import NeuralNetworkClassifier
+from repro.utils.validation import check_fitted
+
+#: model-kind registry: name -> (constructor, is_classifier, encoding)
+MODEL_KINDS = {
+    "random_forest": (RandomForestClassifier, True, "ordinal"),
+    "random_forest_regressor": (RandomForestRegressor, False, "ordinal"),
+    "xgboost": (GradientBoostingClassifier, True, "ordinal"),
+    "xgboost_regressor": (GradientBoostingRegressor, False, "ordinal"),
+    "neural_network": (NeuralNetworkClassifier, True, "onehot"),
+    "logistic": (LogisticRegression, True, "onehot"),
+}
+
+
+class TableModel:
+    """A fitted estimator plus its feature encoding, keyed by column names."""
+
+    def __init__(self, model, feature_names: Sequence[str], encoding: str = "ordinal"):
+        if encoding not in ("ordinal", "onehot"):
+            raise ValueError(f"unknown encoding {encoding!r}")
+        self.model = model
+        self.feature_names = list(feature_names)
+        self.encoding = encoding
+        self._encoder: OneHotEncoder | None = None
+        self.outcome_domain_: tuple | None = None
+
+    @property
+    def is_classifier(self) -> bool:
+        """True when the wrapped model predicts discrete labels."""
+        return hasattr(self.model, "predict_proba")
+
+    def _encode(self, table: Table) -> np.ndarray:
+        if self.encoding == "ordinal":
+            return ordinal_matrix(table, self.feature_names)
+        check_fitted(self, "_encoder")
+        return self._encoder.transform(table.select(self.feature_names))
+
+    def fit(self, table: Table, label: str) -> "TableModel":
+        """Fit the wrapped model on ``table`` with target column ``label``."""
+        if self.encoding == "onehot":
+            self._encoder = OneHotEncoder().fit(
+                table.select(self.feature_names)
+            )
+        X = self._encode(table)
+        label_col = table.column(label)
+        if self.is_classifier:
+            self.model.fit(X, label_col.codes)
+            self.outcome_domain_ = label_col.categories
+        else:
+            # Regression targets are the *labels* (numeric), not codes.
+            y = np.asarray(label_col.decode(), dtype=float)
+            self.model.fit(X, y)
+            self.outcome_domain_ = label_col.categories
+        return self
+
+    # -- prediction surfaces ----------------------------------------------
+
+    def predict_codes(self, table: Table) -> np.ndarray:
+        """Predicted outcome codes (indices into the label domain)."""
+        if not self.is_classifier:
+            raise TypeError("predict_codes requires a classifier; use predict_value")
+        X = self._encode(table)
+        return np.asarray(self.model.predict(X), dtype=np.int64)
+
+    def predict_labels(self, table: Table) -> list:
+        """Predicted outcome labels."""
+        codes = self.predict_codes(table)
+        return [self.outcome_domain_[c] for c in codes]
+
+    def predict_value(self, table: Table) -> np.ndarray:
+        """Real-valued predictions (regressors only)."""
+        if self.is_classifier:
+            raise TypeError("predict_value requires a regressor; use predict_codes")
+        return np.asarray(self.model.predict(self._encode(table)), dtype=float)
+
+    def predict_proba(self, table: Table) -> np.ndarray:
+        """Class-probability matrix (classifiers only)."""
+        if not self.is_classifier:
+            raise TypeError("predict_proba requires a classifier")
+        return self.model.predict_proba(self._encode(table))
+
+    def accuracy(self, table: Table, label: str) -> float:
+        """Label accuracy of the classifier on ``table``."""
+        truth = table.codes(label)
+        return float(np.mean(self.predict_codes(table) == truth))
+
+
+#: default hyper-parameters per model kind, tuned for the benchmark scales
+_DEFAULTS: dict[str, dict] = {
+    "random_forest": {"n_estimators": 25, "max_depth": 10, "min_samples_leaf": 2},
+    "random_forest_regressor": {
+        "n_estimators": 25,
+        "max_depth": 10,
+        "min_samples_leaf": 2,
+    },
+    "xgboost": {"n_estimators": 60, "max_depth": 4, "learning_rate": 0.2},
+    "xgboost_regressor": {"n_estimators": 60, "max_depth": 4, "learning_rate": 0.2},
+    "neural_network": {"hidden_sizes": (32, 16), "epochs": 20},
+    "logistic": {"l2": 1e-3},
+}
+
+
+def fit_table_model(
+    kind: str,
+    table: Table,
+    feature_names: Sequence[str],
+    label: str,
+    seed: int | None = 0,
+    **params,
+) -> TableModel:
+    """Fit one of the paper's black-box families on a table.
+
+    ``kind`` is one of ``random_forest``, ``random_forest_regressor``,
+    ``xgboost``, ``xgboost_regressor``, ``neural_network``, ``logistic``.
+    Keyword arguments override per-kind defaults.
+    """
+    if kind not in MODEL_KINDS:
+        raise ValueError(f"unknown model kind {kind!r}; options: {sorted(MODEL_KINDS)}")
+    ctor, _is_clf, encoding = MODEL_KINDS[kind]
+    merged = dict(_DEFAULTS.get(kind, {}))
+    merged.update(params)
+    if "seed" not in merged and kind != "logistic":
+        merged["seed"] = seed
+    model = ctor(**merged)
+    return TableModel(model, feature_names, encoding).fit(table, label)

@@ -1,0 +1,324 @@
+"""CART decision trees (classification and regression).
+
+Split search is histogram-style: candidate thresholds are midpoints
+between consecutive distinct feature values at the node, and impurity is
+evaluated from prefix sums in one vectorised pass per feature.  This is
+fast for the low-cardinality ordinal/one-hot matrices the library feeds
+models with, while remaining correct for arbitrary float features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.base import BaseClassifier, BaseRegressor
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature = -1``."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: np.ndarray | float | None = None  # class counts or mean target
+    n_samples: int = 0
+    impurity: float = 0.0
+    leaf_id: int = -1
+
+
+def _class_impurity(counts: np.ndarray, criterion: str) -> np.ndarray:
+    """Gini or entropy from a ``(..., n_classes)`` count array."""
+    totals = counts.sum(axis=-1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        probs = np.where(totals > 0, counts / totals, 0.0)
+    if criterion == "gini":
+        return 1.0 - np.sum(probs**2, axis=-1)
+    if criterion == "entropy":
+        logs = np.log2(probs, where=probs > 0, out=np.zeros_like(probs))
+        return -np.sum(probs * logs, axis=-1)
+    raise ValueError(f"unknown criterion {criterion!r}")
+
+
+class _TreeBuilder:
+    """Shared recursive CART builder; subclass hooks define the task."""
+
+    def __init__(
+        self,
+        max_depth: int | None,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features: int | None,
+        rng: np.random.Generator,
+    ):
+        self.max_depth = max_depth if max_depth is not None else np.inf
+        self.min_samples_split = max(2, min_samples_split)
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self.max_features = max_features
+        self.rng = rng
+        self.n_leaves = 0
+        self.feature_gains: np.ndarray | None = None
+
+    # -- task hooks (classifier vs regressor) --------------------------------
+
+    def node_impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def node_value(self, y: np.ndarray):
+        raise NotImplementedError
+
+    def best_split_for_feature(self, x: np.ndarray, y: np.ndarray):
+        """Return (gain, threshold) for one feature or None."""
+        raise NotImplementedError
+
+    # -- generic recursion ------------------------------------------------------
+
+    def build(self, X: np.ndarray, y: np.ndarray) -> _Node:
+        self.feature_gains = np.zeros(X.shape[1])
+        return self._grow(X, y, depth=0)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(
+            value=self.node_value(y),
+            n_samples=len(y),
+            impurity=self.node_impurity(y),
+        )
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or node.impurity <= 1e-12
+        ):
+            return self._leaf(node)
+
+        n_features = X.shape[1]
+        if self.max_features is not None and self.max_features < n_features:
+            features = self.rng.choice(n_features, self.max_features, replace=False)
+        else:
+            features = np.arange(n_features)
+
+        best_gain, best_feature, best_threshold = 0.0, -1, 0.0
+        for f in features:
+            found = self.best_split_for_feature(X[:, f], y)
+            if found is None:
+                continue
+            gain, threshold = found
+            if gain > best_gain + 1e-12:
+                best_gain, best_feature, best_threshold = gain, int(f), threshold
+
+        if best_feature < 0:
+            return self._leaf(node)
+
+        mask = X[:, best_feature] <= best_threshold
+        node.feature = best_feature
+        node.threshold = best_threshold
+        self.feature_gains[best_feature] += best_gain * len(y)
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _leaf(self, node: _Node) -> _Node:
+        node.leaf_id = self.n_leaves
+        self.n_leaves += 1
+        return node
+
+
+class _ClassifierBuilder(_TreeBuilder):
+    def __init__(self, n_classes: int, criterion: str, **kwargs):
+        super().__init__(**kwargs)
+        self.n_classes = n_classes
+        self.criterion = criterion
+
+    def node_impurity(self, y: np.ndarray) -> float:
+        counts = np.bincount(y, minlength=self.n_classes).astype(float)
+        return float(_class_impurity(counts, self.criterion))
+
+    def node_value(self, y: np.ndarray) -> np.ndarray:
+        return np.bincount(y, minlength=self.n_classes).astype(float)
+
+    def best_split_for_feature(self, x: np.ndarray, y: np.ndarray):
+        order = np.argsort(x, kind="stable")
+        xs, ys = x[order], y[order]
+        # Candidate cut positions: between distinct consecutive values.
+        boundary = np.nonzero(xs[1:] != xs[:-1])[0]
+        if boundary.size == 0:
+            return None
+        onehot = np.zeros((len(ys), self.n_classes))
+        onehot[np.arange(len(ys)), ys] = 1.0
+        prefix = np.cumsum(onehot, axis=0)
+        left = prefix[boundary]
+        total = prefix[-1]
+        right = total - left
+        n_left = boundary + 1
+        n_right = len(ys) - n_left
+        valid = (n_left >= self.min_samples_leaf) & (n_right >= self.min_samples_leaf)
+        if not valid.any():
+            return None
+        parent = _class_impurity(total, self.criterion)
+        child = (
+            n_left * _class_impurity(left, self.criterion)
+            + n_right * _class_impurity(right, self.criterion)
+        ) / len(ys)
+        gains = np.where(valid, parent - child, -np.inf)
+        best = int(np.argmax(gains))
+        if not np.isfinite(gains[best]) or gains[best] <= 0:
+            return None
+        threshold = float((xs[boundary[best]] + xs[boundary[best] + 1]) / 2.0)
+        return float(gains[best]), threshold
+
+
+class _RegressorBuilder(_TreeBuilder):
+    def node_impurity(self, y: np.ndarray) -> float:
+        return float(np.var(y)) if len(y) else 0.0
+
+    def node_value(self, y: np.ndarray) -> float:
+        return float(np.mean(y)) if len(y) else 0.0
+
+    def best_split_for_feature(self, x: np.ndarray, y: np.ndarray):
+        order = np.argsort(x, kind="stable")
+        xs, ys = x[order], y[order]
+        boundary = np.nonzero(xs[1:] != xs[:-1])[0]
+        if boundary.size == 0:
+            return None
+        prefix = np.cumsum(ys)
+        prefix_sq = np.cumsum(ys**2)
+        n = len(ys)
+        n_left = boundary + 1
+        n_right = n - n_left
+        valid = (n_left >= self.min_samples_leaf) & (n_right >= self.min_samples_leaf)
+        if not valid.any():
+            return None
+        sum_left = prefix[boundary]
+        sum_right = prefix[-1] - sum_left
+        sq_left = prefix_sq[boundary]
+        sq_right = prefix_sq[-1] - sq_left
+        var_left = sq_left / n_left - (sum_left / n_left) ** 2
+        var_right = sq_right / n_right - (sum_right / n_right) ** 2
+        parent = np.var(ys)
+        child = (n_left * var_left + n_right * var_right) / n
+        gains = np.where(valid, parent - child, -np.inf)
+        best = int(np.argmax(gains))
+        if not np.isfinite(gains[best]) or gains[best] <= 1e-15:
+            return None
+        threshold = float((xs[boundary[best]] + xs[boundary[best] + 1]) / 2.0)
+        return float(gains[best]), threshold
+
+
+def _traverse(node: _Node, X: np.ndarray, out_nodes: list, indices: np.ndarray) -> None:
+    """Vectorised tree traversal: record the leaf node of each row."""
+    if node.feature < 0:
+        for i in indices:
+            out_nodes[i] = node
+        return
+    mask = X[indices, node.feature] <= node.threshold
+    _traverse(node.left, X, out_nodes, indices[mask])
+    _traverse(node.right, X, out_nodes, indices[~mask])
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """CART classifier with gini/entropy impurity."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        criterion: str = "gini",
+        seed: int | np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.criterion = criterion
+        self.seed = seed
+        self.root_: _Node | None = None
+        self.feature_importances_: np.ndarray | None = None
+
+    def _fit(self, X: np.ndarray, y_idx: np.ndarray, n_classes: int) -> None:
+        builder = _ClassifierBuilder(
+            n_classes=n_classes,
+            criterion=self.criterion,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=as_generator(self.seed),
+        )
+        self.root_ = builder.build(X, y_idx)
+        gains = builder.feature_gains
+        total = gains.sum()
+        self.feature_importances_ = gains / total if total > 0 else gains
+
+    def _leaves(self, X: np.ndarray) -> list[_Node]:
+        nodes: list = [None] * len(X)
+        _traverse(self.root_, X, nodes, np.arange(len(X)))
+        return nodes
+
+    def _predict_proba(self, X: np.ndarray) -> np.ndarray:
+        out = np.empty((len(X), len(self.classes_)))
+        for i, node in enumerate(self._leaves(X)):
+            counts = node.value
+            out[i] = counts / counts.sum()
+        return out
+
+    def apply(self, X) -> np.ndarray:
+        """Return the leaf id each row lands in."""
+        X = np.asarray(X, dtype=np.float64)
+        return np.array([n.leaf_id for n in self._leaves(X)], dtype=np.int64)
+
+
+class DecisionTreeRegressor(BaseRegressor):
+    """CART regressor with variance reduction splitting."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        seed: int | np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: _Node | None = None
+        self.n_leaves_: int = 0
+        self.feature_importances_: np.ndarray | None = None
+
+    def _fit(self, X: np.ndarray, y: np.ndarray) -> None:
+        builder = _RegressorBuilder(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=as_generator(self.seed),
+        )
+        self.root_ = builder.build(X, y)
+        self.n_leaves_ = builder.n_leaves
+        gains = builder.feature_gains
+        total = gains.sum()
+        self.feature_importances_ = gains / total if total > 0 else gains
+
+    def _leaves(self, X: np.ndarray) -> list[_Node]:
+        nodes: list = [None] * len(X)
+        _traverse(self.root_, X, nodes, np.arange(len(X)))
+        return nodes
+
+    def _predict(self, X: np.ndarray) -> np.ndarray:
+        return np.array([n.value for n in self._leaves(X)], dtype=np.float64)
+
+    def apply(self, X) -> np.ndarray:
+        """Return the leaf id each row lands in (for boosting leaf refits)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        return np.array([n.leaf_id for n in self._leaves(X)], dtype=np.int64)

@@ -1,0 +1,18 @@
+"""0-1 integer programming: model container and branch-and-bound solver.
+
+The counterfactual-recourse problem of Section 4.2 is a small binary
+integer program.  No commercial solver is available offline, so this
+subpackage provides a generic branch-and-bound over scipy ``linprog`` LP
+relaxations, exact and fast at the scale recourse produces (one binary
+per candidate value of each actionable attribute).
+"""
+
+from repro.opt.integer_program import IntegerProgram, IPSolution
+from repro.opt.branch_and_bound import BranchAndBoundSolver, solve_binary_program
+
+__all__ = [
+    "IntegerProgram",
+    "IPSolution",
+    "BranchAndBoundSolver",
+    "solve_binary_program",
+]

@@ -1,0 +1,152 @@
+"""Branch-and-bound for binary integer programs.
+
+Depth-first best-bound search over LP relaxations solved with scipy's
+HiGHS backend.  Branching variable: most fractional.  The search is exact
+— it terminates with the optimal integral solution or proves
+infeasibility — and comfortably handles the few hundred binaries the
+recourse experiments produce.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.opt.integer_program import IntegerProgram, IPSolution
+from repro.utils.exceptions import RecourseInfeasibleError
+
+_INTEGRALITY_TOL = 1e-6
+
+
+class BranchAndBoundSolver:
+    """Exact 0-1 IP solver via LP-relaxation branch and bound."""
+
+    def __init__(self, max_nodes: int = 200_000):
+        self.max_nodes = max_nodes
+
+    def solve(self, program: IntegerProgram) -> IPSolution:
+        """Solve ``program``; raise :class:`RecourseInfeasibleError` if empty."""
+        c, A_ub, b_ub, A_eq, b_eq = program.matrices()
+        n = program.n_variables
+        if n == 0:
+            return IPSolution(values={}, objective=0.0, n_nodes=0)
+
+        counter = itertools.count()
+        # Node: (lp_bound, tiebreak, lower_fix, upper_fix)
+        root = self._relax(c, A_ub, b_ub, A_eq, b_eq, np.zeros(n), np.ones(n))
+        if root is None:
+            raise RecourseInfeasibleError("LP relaxation infeasible at the root")
+        heap = [(root[0], next(counter), np.zeros(n), np.ones(n), root[1])]
+
+        best_objective = np.inf
+        best_x: np.ndarray | None = None
+        n_nodes = 0
+
+        while heap:
+            bound, _, lo, hi, x_relaxed = heapq.heappop(heap)
+            if bound >= best_objective - 1e-9:
+                continue
+            n_nodes += 1
+            if n_nodes > self.max_nodes:
+                raise RecourseInfeasibleError(
+                    f"branch-and-bound node limit ({self.max_nodes}) exceeded"
+                )
+            fractional = np.abs(x_relaxed - np.round(x_relaxed))
+            branch_var = int(np.argmax(fractional))
+            if fractional[branch_var] <= _INTEGRALITY_TOL:
+                # Integral solution: candidate incumbent.
+                objective = float(c @ np.round(x_relaxed))
+                if objective < best_objective - 1e-12:
+                    best_objective = objective
+                    best_x = np.round(x_relaxed)
+                continue
+            for value in (0.0, 1.0):
+                lo_child, hi_child = lo.copy(), hi.copy()
+                lo_child[branch_var] = value
+                hi_child[branch_var] = value
+                child = self._relax(c, A_ub, b_ub, A_eq, b_eq, lo_child, hi_child)
+                if child is None:
+                    continue
+                child_bound, child_x = child
+                if child_bound < best_objective - 1e-9:
+                    heapq.heappush(
+                        heap,
+                        (child_bound, next(counter), lo_child, hi_child, child_x),
+                    )
+
+        if best_x is None:
+            raise RecourseInfeasibleError("no feasible integral assignment exists")
+        return IPSolution(
+            values=program.assignment_from_vector(best_x),
+            objective=best_objective,
+            n_nodes=n_nodes,
+        )
+
+    @staticmethod
+    def _relax(c, A_ub, b_ub, A_eq, b_eq, lo, hi):
+        """Solve the LP relaxation with variable bounds [lo, hi]."""
+        result = linprog(
+            c,
+            A_ub=A_ub,
+            b_ub=b_ub,
+            A_eq=A_eq,
+            b_eq=b_eq,
+            bounds=list(zip(lo, hi)),
+            method="highs",
+        )
+        if not result.success:
+            return None
+        return float(result.fun), np.asarray(result.x)
+
+
+def _solve_with_highs_milp(program: IntegerProgram) -> IPSolution | None:
+    """Fast path: scipy's native HiGHS MILP solver.
+
+    Returns ``None`` when the backend is unavailable so the caller can
+    fall back to the pure-Python branch and bound; raises
+    :class:`RecourseInfeasibleError` on proven infeasibility.
+    """
+    try:
+        from scipy.optimize import Bounds, LinearConstraint, milp
+    except ImportError:  # pragma: no cover - old scipy
+        return None
+    c, A_ub, b_ub, A_eq, b_eq = program.matrices()
+    n = program.n_variables
+    constraints = []
+    if A_ub is not None:
+        constraints.append(LinearConstraint(A_ub, -np.inf, b_ub))
+    if A_eq is not None:
+        constraints.append(LinearConstraint(A_eq, b_eq, b_eq))
+    result = milp(
+        c,
+        constraints=constraints,
+        integrality=np.ones(n),
+        bounds=Bounds(0, 1),
+    )
+    if result.status == 2:  # infeasible
+        raise RecourseInfeasibleError("no feasible integral assignment exists")
+    if not result.success:  # pragma: no cover - solver hiccup
+        return None
+    return IPSolution(
+        values=program.assignment_from_vector(result.x),
+        objective=float(result.fun),
+        n_nodes=0,
+    )
+
+
+def solve_binary_program(program: IntegerProgram, max_nodes: int = 200_000) -> IPSolution:
+    """Solve ``program`` exactly.
+
+    Uses scipy's HiGHS MILP backend when available (orders of magnitude
+    faster on the ~200-binary recourse programs) and falls back to the
+    pure-Python :class:`BranchAndBoundSolver` otherwise.
+    """
+    if program.n_variables == 0:
+        return IPSolution(values={}, objective=0.0, n_nodes=0)
+    solution = _solve_with_highs_milp(program)
+    if solution is not None:
+        return solution
+    return BranchAndBoundSolver(max_nodes=max_nodes).solve(program)  # pragma: no cover

@@ -1,0 +1,141 @@
+"""Plain-text rendering of explanations (no plotting dependency).
+
+The paper communicates through bar charts (Figures 3-11); in a
+terminal-only environment this module renders the same artifacts as
+aligned ASCII bars so examples and the CLI can show, not just list,
+the scores.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.explanations import GlobalExplanation, LocalExplanation
+from repro.core.recourse import Recourse
+
+_BAR_WIDTH = 30
+
+
+def _bar(value: float, width: int = _BAR_WIDTH, fill: str = "#") -> str:
+    """Render ``value`` in [0, 1] as a fixed-width bar."""
+    clamped = min(max(value, 0.0), 1.0)
+    n = int(round(clamped * width))
+    return fill * n + "." * (width - n)
+
+
+def _signed_bar(value: float, width: int = _BAR_WIDTH // 2) -> str:
+    """Render ``value`` in [-1, 1] as a centred signed bar."""
+    clamped = min(max(value, -1.0), 1.0)
+    n = int(round(abs(clamped) * width))
+    if clamped >= 0:
+        return " " * width + "|" + "+" * n + " " * (width - n)
+    return " " * (width - n) + "-" * n + "|" + " " * width
+
+
+def render_global(
+    explanation: GlobalExplanation,
+    kind: str = "necessity_sufficiency",
+    title: str | None = None,
+) -> str:
+    """Figure-3-style horizontal bar chart of one score per attribute."""
+    lines = []
+    if title:
+        lines.append(title)
+    if explanation.context:
+        ctx = ", ".join(f"{k}={v}" for k, v in explanation.context.items())
+        lines.append(f"context: {ctx}")
+    ordered = sorted(
+        explanation.attribute_scores, key=lambda s: s.score(kind), reverse=True
+    )
+    name_width = max((len(s.attribute) for s in ordered), default=8)
+    for s in ordered:
+        value = s.score(kind)
+        lines.append(f"{s.attribute:{name_width}s} {_bar(value)} {value:5.2f}")
+    return "\n".join(lines)
+
+
+def render_scores_table(explanation: GlobalExplanation, title: str | None = None) -> str:
+    """All three scores per attribute, aligned."""
+    lines = []
+    if title:
+        lines.append(title)
+    name_width = max(
+        (len(s.attribute) for s in explanation.attribute_scores), default=8
+    )
+    lines.append(f"{'attribute':{name_width}s}  {'NEC':>5s} {'SUF':>5s} {'NESUF':>5s}")
+    for s in explanation.attribute_scores:
+        lines.append(
+            f"{s.attribute:{name_width}s}  {s.necessity:5.2f} "
+            f"{s.sufficiency:5.2f} {s.necessity_sufficiency:5.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_local(explanation: LocalExplanation, title: str | None = None) -> str:
+    """Figure-5-style signed contribution chart for one individual."""
+    lines = []
+    if title:
+        lines.append(title)
+    outcome = "positive" if explanation.outcome_positive else "negative"
+    lines.append(f"outcome: {outcome}")
+    name_width = max(
+        (len(f"{c.attribute}={c.value}") for c in explanation.contributions),
+        default=12,
+    )
+    ordered = sorted(
+        explanation.contributions,
+        key=lambda c: max(c.positive, c.negative),
+        reverse=True,
+    )
+    for c in ordered:
+        label = f"{c.attribute}={c.value}"
+        lines.append(f"{label:{name_width}s} {_signed_bar(c.net)} net={c.net:+.2f}")
+    return "\n".join(lines)
+
+
+def render_recourse(recourse: Recourse, title: str | None = None) -> str:
+    """Figure-1-style recourse card."""
+    lines = []
+    if title:
+        lines.append(title)
+    if recourse.is_empty:
+        lines.append("No action needed: the target probability is already met.")
+        return "\n".join(lines)
+    width = max(len(a.attribute) for a in recourse.actions)
+    lines.append(f"{'attribute':{width}s}  {'current':>18s} -> {'required':>18s}")
+    for a in recourse.actions:
+        lines.append(
+            f"{a.attribute:{width}s}  {str(a.current_value):>18s} -> "
+            f"{str(a.new_value):>18s}"
+        )
+    lines.append(
+        f"total cost {recourse.total_cost:.1f}; estimated sufficiency "
+        f"{recourse.estimated_sufficiency:.0%}"
+    )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    rankings: Mapping[str, Sequence[str]], title: str | None = None
+) -> str:
+    """Figure-9/10-style rank table: one column per method."""
+    lines = []
+    if title:
+        lines.append(title)
+    methods = list(rankings)
+    attributes = list(rankings[methods[0]])
+    name_width = max(len(a) for a in attributes)
+    header = f"{'attribute':{name_width}s}  " + "  ".join(
+        f"{m:>8s}" for m in methods
+    )
+    lines.append(header)
+    for attribute in attributes:
+        ranks = []
+        for method in methods:
+            order = list(rankings[method])
+            ranks.append(order.index(attribute) + 1 if attribute in order else -1)
+        lines.append(
+            f"{attribute:{name_width}s}  "
+            + "  ".join(f"{r:>8d}" for r in ranks)
+        )
+    return "\n".join(lines)

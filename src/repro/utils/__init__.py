@@ -1,0 +1,32 @@
+"""Shared utilities: RNG handling, validation helpers, exceptions."""
+
+from repro.utils.exceptions import (
+    ReproError,
+    DomainError,
+    GraphError,
+    EstimationError,
+    RecourseInfeasibleError,
+    NotFittedError,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_probability,
+    check_in_domain,
+    check_same_length,
+    check_fitted,
+)
+
+__all__ = [
+    "ReproError",
+    "DomainError",
+    "GraphError",
+    "EstimationError",
+    "RecourseInfeasibleError",
+    "NotFittedError",
+    "as_generator",
+    "spawn_generators",
+    "check_probability",
+    "check_in_domain",
+    "check_same_length",
+    "check_fitted",
+]

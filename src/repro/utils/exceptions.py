@@ -1,0 +1,30 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class DomainError(ReproError, ValueError):
+    """A value lies outside the declared domain of an attribute."""
+
+
+class GraphError(ReproError, ValueError):
+    """A causal diagram is malformed (cycles, unknown nodes, ...)."""
+
+
+class EstimationError(ReproError, RuntimeError):
+    """A probability or score could not be estimated from data."""
+
+
+class RecourseInfeasibleError(ReproError, RuntimeError):
+    """The recourse integer program has no feasible solution."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator was used before ``fit`` was called."""

@@ -1,0 +1,35 @@
+"""Random-number-generator plumbing.
+
+Everything stochastic in the library accepts a ``seed`` argument that may
+be ``None``, an ``int``, or an already-constructed
+:class:`numpy.random.Generator`.  :func:`as_generator` normalises the three
+forms so downstream code always works with a ``Generator``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_generator(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``Generator`` instances are passed through unchanged so callers can
+    share one stream across several components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    Used by ensemble models (random forests, bootstrap loops) so each
+    member gets its own reproducible stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = as_generator(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

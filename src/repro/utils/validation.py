@@ -1,0 +1,39 @@
+"""Small argument-validation helpers used across the package."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sized
+
+from repro.utils.exceptions import DomainError, NotFittedError
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Validate that ``value`` lies in [0, 1] and return it as a float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_in_domain(value: Any, domain: Iterable[Any], name: str = "value") -> Any:
+    """Validate that ``value`` is a member of ``domain`` and return it."""
+    domain = list(domain)
+    if value not in domain:
+        raise DomainError(f"{name}={value!r} is not in domain {domain!r}")
+    return value
+
+
+def check_same_length(*arrays: Sized) -> int:
+    """Validate that all arguments share one length and return it."""
+    lengths = {len(a) for a in arrays}
+    if len(lengths) > 1:
+        raise ValueError(f"length mismatch: {sorted(lengths)}")
+    return lengths.pop() if lengths else 0
+
+
+def check_fitted(obj: Any, attribute: str) -> None:
+    """Raise :class:`NotFittedError` unless ``obj.attribute`` is set."""
+    if getattr(obj, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(obj).__name__} is not fitted; call fit() before use"
+        )

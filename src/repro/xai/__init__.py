@@ -1,0 +1,36 @@
+"""XAI baselines the paper compares against (Section 5.4).
+
+From-scratch reimplementations of:
+
+* :mod:`repro.xai.lime` — Local Interpretable Model-agnostic Explanations
+  (Ribeiro et al. 2016): perturb around an instance, fit a
+  kernel-weighted ridge surrogate.
+* :mod:`repro.xai.shap` — Kernel SHAP (Lundberg & Lee 2017): Shapley
+  values via the weighted least-squares characterisation.
+* :mod:`repro.xai.feat` — permutation feature importance (Breiman 2001).
+* :mod:`repro.xai.linear_ip` — LinearIP, actionable recourse for linear
+  classifiers (Ustun et al. 2019).
+* :mod:`repro.xai.ranking` — ranking / rank-correlation helpers used by
+  the comparison experiments.
+"""
+
+from repro.xai.lime import LimeExplainer
+from repro.xai.shap import KernelShapExplainer
+from repro.xai.feat import permutation_importance
+from repro.xai.linear_ip import LinearIPRecourse
+from repro.xai.pdp import ICECurves, PartialDependence, ice_curves, partial_dependence
+from repro.xai.ranking import kendall_tau, normalise_scores, rank_of
+
+__all__ = [
+    "LimeExplainer",
+    "KernelShapExplainer",
+    "permutation_importance",
+    "LinearIPRecourse",
+    "ICECurves",
+    "PartialDependence",
+    "ice_curves",
+    "partial_dependence",
+    "kendall_tau",
+    "normalise_scores",
+    "rank_of",
+]

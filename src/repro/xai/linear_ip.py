@@ -1,0 +1,131 @@
+"""LinearIP: actionable recourse for linear classifiers (Ustun et al. 2019).
+
+The baseline the paper compares its recourse against (Section 5.4).  A
+logistic surrogate (or any linear model over one-hot features) is fit to
+the black box's decisions; recourse is then the minimum-cost change of
+the actionable attributes that pushes the linear score past the decision
+threshold.  Unlike LEWIS, the constraint bounds the *classifier score*
+directly, ignores causal structure entirely, and — as the paper observes
+— often fails to return any solution for high success thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.recourse import CostFn, RecourseAction, unit_step_cost
+from repro.data.encoding import OneHotEncoder
+from repro.data.table import Table
+from repro.estimation.logit import logit
+from repro.models.linear import LogisticRegression
+from repro.opt.branch_and_bound import solve_binary_program
+from repro.opt.integer_program import IntegerProgram
+from repro.utils.exceptions import RecourseInfeasibleError
+from repro.utils.validation import check_probability
+
+
+@dataclass
+class LinearIPResult:
+    """The baseline's recommended action set."""
+
+    actions: list[RecourseAction]
+    total_cost: float
+    achieved_probability: float
+
+
+class LinearIPRecourse:
+    """Recourse over a linear surrogate of the black box."""
+
+    def __init__(
+        self,
+        table: Table,
+        positive: np.ndarray,
+        actionable: Sequence[str],
+        cost_fn: CostFn | None = None,
+    ):
+        if not actionable:
+            raise ValueError("actionable set must not be empty")
+        self.actionable = list(actionable)
+        self.cost_fn = cost_fn or unit_step_cost
+        self._table = table
+        self._encoder = OneHotEncoder(drop_first=True).fit(table)
+        X = self._encoder.transform(table)
+        self._model = LogisticRegression(l2=0.1)
+        self._model.fit(X, np.asarray(positive, dtype=int))
+
+    def _coefficient(self, attribute: str, code: int) -> float:
+        if code == 0:
+            return 0.0
+        block = self._encoder.feature_slice(attribute)
+        return float(self._model.coef_[0][block.start + code - 1])
+
+    def _score(self, codes: Mapping[str, int]) -> float:
+        row = self._encoder.transform_codes(
+            {name: int(codes[name]) for name in self._table.names}
+        )
+        return float(self._model.decision_function(row.reshape(1, -1))[0])
+
+    def solve(
+        self,
+        row_codes: Mapping[str, int],
+        success_probability: float = 0.5,
+    ) -> LinearIPResult:
+        """Minimum-cost action set reaching the target linear-score threshold.
+
+        Raises :class:`RecourseInfeasibleError` when no assignment of the
+        actionable attributes reaches it — the failure mode the paper
+        reports for thresholds above 0.8.
+        """
+        check_probability(success_probability, "success_probability")
+        base_score = self._score(row_codes)
+        needed = logit(success_probability) - base_score
+
+        program = IntegerProgram()
+        gain: dict = {}
+        for attribute in self.actionable:
+            col = self._table.column(attribute)
+            current = int(row_codes[attribute])
+            exclusivity: dict = {}
+            for code in range(col.cardinality):
+                if code == current:
+                    continue
+                name = (attribute, code)
+                program.add_variable(name, cost=self.cost_fn(attribute, current, code))
+                gain[name] = self._coefficient(attribute, code) - self._coefficient(
+                    attribute, current
+                )
+                exclusivity[name] = 1.0
+            if exclusivity:
+                program.add_le_constraint(exclusivity, 1.0)
+        program.add_ge_constraint(gain, needed)
+        solution = solve_binary_program(program)
+
+        new_codes = {a: int(row_codes[a]) for a in self.actionable}
+        for (attribute, code), chosen in solution.values.items():
+            if chosen:
+                new_codes[attribute] = code
+        achieved = 1.0 / (
+            1.0 + np.exp(-self._score({**dict(row_codes), **new_codes}))
+        )
+        actions = []
+        for attribute, code in new_codes.items():
+            current = int(row_codes[attribute])
+            if code == current:
+                continue
+            categories = self._table.column(attribute).categories
+            actions.append(
+                RecourseAction(
+                    attribute=attribute,
+                    current_value=categories[current],
+                    new_value=categories[code],
+                    cost=self.cost_fn(attribute, current, code),
+                )
+            )
+        return LinearIPResult(
+            actions=actions,
+            total_cost=solution.objective,
+            achieved_probability=float(achieved),
+        )

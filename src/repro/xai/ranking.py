@@ -1,0 +1,45 @@
+"""Ranking helpers for the method-comparison experiments (Figures 8-10)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def normalise_scores(scores: Mapping[str, float]) -> dict[str, float]:
+    """Scale scores so the maximum |value| is 1 (paper's normalised plots)."""
+    peak = max((abs(v) for v in scores.values()), default=0.0)
+    if peak == 0:
+        return dict(scores)
+    return {k: v / peak for k, v in scores.items()}
+
+
+def ranking_from_scores(scores: Mapping[str, float]) -> list[str]:
+    """Keys ordered by decreasing |score| (ties broken by name)."""
+    return sorted(scores, key=lambda k: (-abs(scores[k]), k))
+
+
+def rank_of(scores: Mapping[str, float], attribute: str) -> int:
+    """1-based rank of ``attribute`` by |score|."""
+    return ranking_from_scores(scores).index(attribute) + 1
+
+
+def kendall_tau(order_a: Sequence[str], order_b: Sequence[str]) -> float:
+    """Kendall rank correlation between two orderings of the same items.
+
+    Items missing from either ordering are ignored; returns a value in
+    [-1, 1] (1 = identical order).
+    """
+    common = [x for x in order_a if x in set(order_b)]
+    if len(common) < 2:
+        return 1.0
+    pos_b = {x: i for i, x in enumerate(order_b)}
+    concordant = discordant = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            a_i, a_j = common[i], common[j]
+            if (pos_b[a_i] - pos_b[a_j]) < 0:
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    return (concordant - discordant) / total if total else 1.0

@@ -1,0 +1,176 @@
+"""Kernel SHAP (Lundberg & Lee 2017).
+
+Shapley values of a black box are recovered as the solution of a
+weighted least-squares problem over coalition indicators with the
+Shapley kernel ``pi(s) = (M-1) / (C(M,s) * s * (M-s))``.  Coalitions are
+enumerated exactly for small attribute counts and sampled otherwise;
+missing attributes are imputed by draws from a background table
+(the interventional/marginal expectation, as in the reference
+implementation).  The efficiency constraint ``sum phi = f(x) - E[f]`` is
+enforced by variable elimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from math import comb
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.table import Column, Table
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class ShapExplanation:
+    """Per-attribute Shapley values for one instance."""
+
+    values: dict[str, float]
+    base_value: float
+    prediction: float
+
+    def ranking(self) -> list[str]:
+        """Attributes by decreasing |phi|."""
+        return sorted(self.values, key=lambda a: abs(self.values[a]), reverse=True)
+
+
+class KernelShapExplainer:
+    """Kernel SHAP over categorical tables."""
+
+    def __init__(
+        self,
+        predict_positive: Callable[[Table], np.ndarray],
+        background: Table,
+        attributes: Sequence[str] | None = None,
+        n_background: int = 50,
+        max_exact_attributes: int = 12,
+        n_coalitions: int = 2_048,
+        seed: int | np.random.Generator | None = 0,
+    ):
+        self._predict = predict_positive
+        self.attributes = list(attributes) if attributes is not None else background.names
+        self._rng = as_generator(seed)
+        rows = min(n_background, len(background))
+        idx = self._rng.choice(len(background), size=rows, replace=False)
+        self._background = background.take(idx)
+        self.max_exact_attributes = max_exact_attributes
+        self.n_coalitions = n_coalitions
+        self._base_value: float | None = None
+
+    # -- coalition machinery -----------------------------------------------
+
+    def _coalitions(self, m: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (masks, kernel weights) excluding empty/full coalitions."""
+        if m <= self.max_exact_attributes:
+            masks = []
+            weights = []
+            for size in range(1, m):
+                w = (m - 1) / (comb(m, size) * size * (m - size))
+                for subset in combinations(range(m), size):
+                    mask = np.zeros(m, dtype=bool)
+                    mask[list(subset)] = True
+                    masks.append(mask)
+                    weights.append(w)
+            return np.array(masks), np.array(weights)
+        # Sampled regime: draw sizes with probability proportional to the
+        # kernel mass of that size, then a uniform subset of that size.
+        sizes = np.arange(1, m)
+        size_mass = (m - 1) / (sizes * (m - sizes))
+        size_p = size_mass / size_mass.sum()
+        masks = np.zeros((self.n_coalitions, m), dtype=bool)
+        drawn = self._rng.choice(sizes, size=self.n_coalitions, p=size_p)
+        for i, s in enumerate(drawn):
+            masks[i, self._rng.choice(m, size=s, replace=False)] = True
+        weights = np.ones(self.n_coalitions)
+        return masks, weights
+
+    def _coalition_values(
+        self, row_codes: Mapping[str, int], masks: np.ndarray
+    ) -> np.ndarray:
+        """``v(S)`` for every coalition: expectation over background draws."""
+        bg = self._background
+        n_bg = len(bg)
+        n_coal = len(masks)
+        # Build one big table: for each coalition, n_bg hybrid rows.
+        columns = []
+        for j, name in enumerate(self.attributes):
+            ref = bg.column(name)
+            tiled = np.tile(ref.codes, n_coal)
+            fixed = np.repeat(masks[:, j], n_bg)
+            tiled[fixed] = int(row_codes[name])
+            columns.append(Column.from_codes(name, tiled, ref.categories, ref.ordered))
+        # Carry along any non-explained attributes at their background values.
+        for name in bg.names:
+            if name not in self.attributes:
+                ref = bg.column(name)
+                columns.append(
+                    Column.from_codes(
+                        name, np.tile(ref.codes, n_coal), ref.categories, ref.ordered
+                    )
+                )
+        predictions = np.asarray(self._predict(Table(columns)), dtype=float)
+        return predictions.reshape(n_coal, n_bg).mean(axis=1)
+
+    def base_value(self) -> float:
+        """``E[f]`` over the background sample."""
+        if self._base_value is None:
+            self._base_value = float(
+                np.mean(np.asarray(self._predict(self._background), dtype=float))
+            )
+        return self._base_value
+
+    def _instance_prediction(self, row_codes: Mapping[str, int]) -> float:
+        columns = []
+        for name in self._background.names:
+            ref = self._background.column(name)
+            code = int(row_codes.get(name, ref.codes[0]))
+            columns.append(
+                Column.from_codes(name, np.array([code]), ref.categories, ref.ordered)
+            )
+        return float(np.asarray(self._predict(Table(columns)), dtype=float)[0])
+
+    # -- the solve -------------------------------------------------------------
+
+    def explain(self, row_codes: Mapping[str, int]) -> ShapExplanation:
+        """Shapley values for one instance (code-level input)."""
+        m = len(self.attributes)
+        fx = self._instance_prediction(row_codes)
+        f0 = self.base_value()
+        if m == 1:
+            return ShapExplanation(
+                values={self.attributes[0]: fx - f0}, base_value=f0, prediction=fx
+            )
+        masks, weights = self._coalitions(m)
+        values = self._coalition_values(row_codes, masks)
+
+        # Efficiency-constrained WLS: eliminate phi_{m-1}.
+        Z = masks.astype(float)
+        y = values - f0
+        Z_elim = Z[:, :-1] - Z[:, [-1]]
+        y_elim = y - Z[:, -1] * (fx - f0)
+        A = (Z_elim * weights[:, None]).T @ Z_elim + 1e-10 * np.eye(m - 1)
+        b = (Z_elim * weights[:, None]).T @ y_elim
+        phi_head = np.linalg.solve(A, b)
+        phi_last = (fx - f0) - phi_head.sum()
+        phi = np.append(phi_head, phi_last)
+        return ShapExplanation(
+            values={name: float(v) for name, v in zip(self.attributes, phi)},
+            base_value=f0,
+            prediction=fx,
+        )
+
+    def global_importance(
+        self, table: Table, n_instances: int = 50
+    ) -> dict[str, float]:
+        """Mean |phi| over a sample of instances — SHAP's global ranking."""
+        idx = self._rng.choice(
+            len(table), size=min(n_instances, len(table)), replace=False
+        )
+        totals = {name: 0.0 for name in self.attributes}
+        for i in idx:
+            explanation = self.explain(table.row_codes(int(i)))
+            for name, v in explanation.values.items():
+                totals[name] += abs(v)
+        return {name: v / len(idx) for name, v in totals.items()}

@@ -1,0 +1,129 @@
+"""Unit tests for bounds (Prop 4.1), value-order inference, monotonicity."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import BoundsEstimator, ScoreBounds
+from repro.core.monotonicity import empirical_monotonicity_violation
+from repro.core.ordering import infer_value_order, order_table_attributes
+from repro.core.scores import ScoreEstimator
+from repro.data.table import Column, Table
+
+
+@pytest.fixture(scope="module")
+def bounded_setup(toy_scm):
+    table = toy_scm.sample(20_000, seed=31).select(["Z", "X"])
+    positive = (table.codes("X") + table.codes("Z")) >= 2
+    est = ScoreEstimator(table, positive, diagram=toy_scm.diagram.subgraph(["Z", "X"]))
+    return table, positive, est, BoundsEstimator(est)
+
+
+class TestScoreBounds:
+    def test_intervals_are_ordered_and_in_unit_range(self, bounded_setup):
+        *_rest, bounds_est = bounded_setup
+        b = bounds_est.bounds({"X": 2}, {"X": 0})
+        for lo, hi in (b.necessity, b.sufficiency, b.necessity_sufficiency):
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_point_estimates_inside_bounds_under_monotonicity(self, bounded_setup):
+        _t, _p, est, bounds_est = bounded_setup
+        for hi, lo in ((2, 0), (2, 1), (1, 0)):
+            triple = est.scores({"X": hi}, {"X": lo})
+            bounds = bounds_est.bounds({"X": hi}, {"X": lo})
+            assert bounds.contains(
+                triple.necessity,
+                triple.sufficiency,
+                triple.necessity_sufficiency,
+                tol=0.03,
+            )
+
+    def test_context_bounds(self, bounded_setup):
+        *_rest, bounds_est = bounded_setup
+        b = bounds_est.bounds({"X": 2}, {"X": 0}, {"Z": 1})
+        lo, hi = b.sufficiency
+        # Given Z=1 the flip is certain, so the interval concentrates at 1.
+        assert lo > 0.9
+
+    def test_nesuf_lower_bound_is_causal_effect(self, bounded_setup):
+        _t, _p, est, bounds_est = bounded_setup
+        b = bounds_est.bounds({"X": 1}, {"X": 0})
+        # NESUF lower bound = P(o|do(x)) - P(o|do(x')) = P(Z=1) here.
+        assert b.necessity_sufficiency[0] == pytest.approx(0.5, abs=0.03)
+
+    def test_contains_rejects_outside(self):
+        b = ScoreBounds((0.2, 0.4), (0.0, 1.0), (0.0, 1.0))
+        assert not b.contains(0.5, 0.5, 0.5)
+        assert b.contains(0.3, 0.5, 0.5)
+
+
+class TestOrderInference:
+    def _table_and_predictor(self):
+        """Attribute 'cat' where value 'b' is best, 'c' worst."""
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 3, size=1_500)
+        table = Table(
+            [Column.from_codes("cat", codes, ("a", "b", "c"), ordered=False)]
+        )
+        favourability = {0: 0.5, 1: 0.9, 2: 0.1}
+
+        def predict(t):
+            c = t.codes("cat")
+            return rng.random(len(c)) < np.vectorize(favourability.get)(c)
+
+        return table, predict
+
+    def test_infer_value_order_ranks_by_positive_rate(self):
+        table, predict = self._table_and_predictor()
+        order = infer_value_order(predict, table, "cat", seed=0)
+        assert order == ["c", "a", "b"]
+
+    def test_order_table_attributes_only_touches_unordered(self):
+        table, predict = self._table_and_predictor()
+        ordered_col = Column.from_codes(
+            "num", np.zeros(len(table), dtype=int), (0, 1), ordered=True
+        )
+        table = table.with_column(ordered_col)
+        out = order_table_attributes(predict, table, seed=0)
+        assert out.domain("num") == (0, 1)
+        assert out.domain("cat") == ("c", "a", "b")
+        assert out.column("cat").ordered
+
+    def test_reordering_preserves_decoded_rows(self):
+        table, predict = self._table_and_predictor()
+        out = order_table_attributes(predict, table, seed=0)
+        assert out.column("cat").decode() == table.column("cat").decode()
+
+    def test_probe_subsampling(self):
+        table, predict = self._table_and_predictor()
+        order = infer_value_order(predict, table, "cat", max_probe_rows=200, seed=0)
+        assert order[-1] == "b"  # best value still identified
+
+
+class TestMonotonicityDiagnostics:
+    def test_zero_for_monotone_rule(self):
+        codes = np.repeat([0, 1, 2], 100)
+        table = Table([Column.from_codes("x", codes, (0, 1, 2))])
+        positive = codes >= 1
+        assert empirical_monotonicity_violation(table, positive, "x") == 0.0
+
+    def test_positive_for_nonmonotone_rule(self):
+        codes = np.repeat([0, 1, 2], 100)
+        table = Table([Column.from_codes("x", codes, (0, 1, 2))])
+        positive = codes == 1  # up then down
+        violation = empirical_monotonicity_violation(table, positive, "x")
+        assert violation == pytest.approx(1.0)
+
+    def test_context_restriction(self):
+        x = np.tile([0, 1], 100)
+        z = np.repeat([0, 1], 100)
+        table = Table(
+            [Column.from_codes("x", x, (0, 1)), Column.from_codes("z", z, (0, 1))]
+        )
+        positive = (x == 0) & (z == 0) | (x == 1) & (z == 1)
+        assert empirical_monotonicity_violation(table, positive, "x", {"z": 1}) == 0.0
+        assert empirical_monotonicity_violation(table, positive, "x", {"z": 0}) == 1.0
+
+    def test_length_mismatch(self):
+        table = Table([Column.from_codes("x", np.zeros(3, dtype=int), (0, 1))])
+        with pytest.raises(ValueError):
+            empirical_monotonicity_violation(table, np.ones(2, dtype=bool), "x")

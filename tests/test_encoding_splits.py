@@ -1,0 +1,125 @@
+"""Unit tests for feature encodings and train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.encoding import OneHotEncoder, ordinal_matrix
+from repro.data.splits import train_test_split
+from repro.data.table import Column, Table
+from repro.utils.exceptions import NotFittedError
+
+
+class TestOrdinalMatrix:
+    def test_values_are_codes(self, small_table):
+        m = ordinal_matrix(small_table, ["size"])
+        assert m.dtype == np.float64
+        assert m[:, 0].tolist() == [0.0, 1.0, 2.0, 1.0, 0.0, 2.0, 2.0, 1.0]
+
+    def test_defaults_to_all_columns(self, small_table):
+        assert ordinal_matrix(small_table).shape == (8, 3)
+
+
+class TestOneHotEncoder:
+    def test_feature_layout(self, small_table):
+        enc = OneHotEncoder().fit(small_table, ["color", "label"])
+        assert enc.n_features == 5
+        assert enc.feature_names_ == [
+            "color=red",
+            "color=green",
+            "color=blue",
+            "label=no",
+            "label=yes",
+        ]
+
+    def test_transform_one_hot_rows_sum_to_column_count(self, small_table):
+        enc = OneHotEncoder().fit(small_table)
+        X = enc.transform(small_table)
+        assert X.shape == (8, 3 + 3 + 2)
+        assert (X.sum(axis=1) == 3).all()
+
+    def test_drop_first_reduces_width(self, small_table):
+        enc = OneHotEncoder(drop_first=True).fit(small_table, ["color"])
+        assert enc.n_features == 2
+        X = enc.transform(small_table)
+        # 'red' (first category) encodes as all-zeros.
+        red_rows = small_table.mask(color="red")
+        assert (X[red_rows] == 0).all()
+
+    def test_transform_before_fit_raises(self, small_table):
+        with pytest.raises(NotFittedError):
+            OneHotEncoder().transform(small_table)
+
+    def test_transform_rejects_changed_domain(self, small_table):
+        enc = OneHotEncoder().fit(small_table, ["color"])
+        altered = small_table.with_column(
+            Column.from_codes(
+                "color", small_table.codes("color"), ["r", "g", "b"], ordered=False
+            )
+        )
+        with pytest.raises(ValueError, match="domain changed"):
+            enc.transform(altered)
+
+    def test_transform_codes_single_row(self, small_table):
+        enc = OneHotEncoder().fit(small_table, ["color", "size"])
+        row = enc.transform_codes({"color": 1, "size": 2})
+        full = enc.transform(small_table.filter(color="green", size=2))
+        assert np.array_equal(row, full[0])
+
+    def test_feature_slice(self, small_table):
+        enc = OneHotEncoder().fit(small_table, ["color", "size"])
+        sl = enc.feature_slice("size")
+        assert enc.feature_names_[sl] == ["size=0", "size=1", "size=2"]
+
+    def test_fit_transform_equals_fit_then_transform(self, small_table):
+        a = OneHotEncoder().fit_transform(small_table)
+        b = OneHotEncoder().fit(small_table).transform(small_table)
+        assert np.array_equal(a, b)
+
+
+class TestTrainTestSplit:
+    def _table(self, n=100):
+        rng = np.random.default_rng(0)
+        return Table.from_dict(
+            {
+                "x": rng.integers(0, 3, size=n).tolist(),
+                "y": (rng.random(n) < 0.2).astype(int).tolist(),
+            },
+            domains={"x": [0, 1, 2], "y": [0, 1]},
+        )
+
+    def test_sizes(self):
+        table = self._table(100)
+        train, test = train_test_split(table, test_fraction=0.3, seed=0)
+        assert len(train) == 70
+        assert len(test) == 30
+
+    def test_partition_is_exact(self):
+        table = self._table(50)
+        train, test = train_test_split(table, test_fraction=0.4, seed=1)
+        assert len(train) + len(test) == 50
+
+    def test_deterministic_given_seed(self):
+        table = self._table(60)
+        a_train, _ = train_test_split(table, seed=7)
+        b_train, _ = train_test_split(table, seed=7)
+        assert a_train.codes("x").tolist() == b_train.codes("x").tolist()
+
+    def test_different_seeds_differ(self):
+        table = self._table(60)
+        a_train, _ = train_test_split(table, seed=1)
+        b_train, _ = train_test_split(table, seed=2)
+        assert a_train.codes("x").tolist() != b_train.codes("x").tolist()
+
+    def test_invalid_fraction_rejected(self):
+        table = self._table(10)
+        with pytest.raises(ValueError):
+            train_test_split(table, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(table, test_fraction=1.0)
+
+    def test_stratified_preserves_rates(self):
+        table = self._table(400)
+        train, test = train_test_split(table, test_fraction=0.25, seed=3, stratify="y")
+        overall = table.codes("y").mean()
+        assert abs(train.codes("y").mean() - overall) < 0.03
+        assert abs(test.codes("y").mean() - overall) < 0.03

@@ -1,0 +1,100 @@
+"""Unit tests for the counterfactual-fairness auditor."""
+
+import numpy as np
+import pytest
+
+from repro import Lewis
+from repro.core.fairness import FairnessAuditor
+from repro.data import load_dataset
+from repro.data.compas import compas_software_positive
+from repro.data.table import Column, Table
+
+
+@pytest.fixture(scope="module")
+def compas_lewis():
+    bundle = load_dataset("compas", n_rows=3_000, seed=0)
+    features = bundle.table.select(bundle.feature_names)
+    return Lewis(
+        compas_software_positive,
+        data=features,
+        feature_names=bundle.feature_names,
+        graph=bundle.graph,
+    )
+
+
+@pytest.fixture(scope="module")
+def fair_lewis():
+    """An algorithm that provably ignores the protected attribute."""
+    rng = np.random.default_rng(0)
+    n = 20_000
+    protected = rng.integers(0, 2, n)
+    merit = rng.integers(0, 3, n)
+    table = Table(
+        [
+            Column.from_codes("protected", protected, ("A", "B"), ordered=False),
+            Column.from_codes("merit", merit, (0, 1, 2)),
+        ]
+    )
+    from repro.causal.graph import CausalDiagram
+
+    graph = CausalDiagram([], nodes=["protected", "merit"])
+    return Lewis(
+        lambda t: t.codes("merit") >= 2,
+        data=table,
+        feature_names=["protected", "merit"],
+        graph=graph,
+    )
+
+
+class TestFairnessVerdict:
+    def test_biased_software_flagged(self, compas_lewis):
+        auditor = FairnessAuditor(compas_lewis)
+        verdict = auditor.audit("race")
+        assert not verdict.is_counterfactually_fair
+        assert verdict.sufficiency > 0.1
+        assert verdict.worst_pair is not None
+
+    def test_fair_algorithm_passes(self, fair_lewis):
+        auditor = FairnessAuditor(fair_lewis)
+        verdict = auditor.audit("protected")
+        assert verdict.is_counterfactually_fair
+        assert verdict.necessity <= auditor.tolerance
+        assert verdict.sufficiency <= auditor.tolerance
+
+    def test_summary_mentions_status(self, compas_lewis, fair_lewis):
+        unfair = FairnessAuditor(compas_lewis).audit("race").summary()
+        fair = FairnessAuditor(fair_lewis).audit("protected").summary()
+        assert "NOT" in unfair
+        assert "NOT" not in fair
+
+    def test_audit_all(self, compas_lewis):
+        verdicts = FairnessAuditor(compas_lewis).audit_all(["race", "sex"])
+        assert [v.attribute for v in verdicts] == ["race", "sex"]
+
+    def test_invalid_tolerance(self, compas_lewis):
+        with pytest.raises(ValueError):
+            FairnessAuditor(compas_lewis, tolerance=1.5)
+
+
+class TestDisparities:
+    def test_demographic_disparity_non_negative(self, compas_lewis):
+        auditor = FairnessAuditor(compas_lewis)
+        assert auditor.demographic_disparity("race") >= 0.0
+
+    def test_demographic_disparity_detects_gap(self, compas_lewis):
+        # The software is biased: positive rates differ across races.
+        auditor = FairnessAuditor(compas_lewis)
+        assert auditor.demographic_disparity("race") > 0.1
+
+    def test_fair_algorithm_small_disparity(self, fair_lewis):
+        auditor = FairnessAuditor(fair_lewis)
+        assert auditor.demographic_disparity("protected") < 0.05
+
+    def test_contextual_disparity_directions(self, compas_lewis):
+        auditor = FairnessAuditor(compas_lewis)
+        gap = auditor.contextual_disparity(
+            "priors_count", {"race": "Black"}, {"race": "White"}
+        )
+        # Figure 4c: necessity higher for Black defendants.
+        assert gap.necessity_gap >= 0.0
+        assert gap.attribute == "priors_count"

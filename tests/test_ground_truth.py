@@ -1,0 +1,86 @@
+"""Tests for Pearl-three-step ground-truth scores."""
+
+import numpy as np
+import pytest
+
+from repro.causal.ground_truth import GroundTruthScores
+from repro.utils.exceptions import EstimationError
+
+
+@pytest.fixture(scope="module")
+def truth(toy_scm):
+    """Ground truth for the deterministic algorithm f = 1{X + Z >= 2}."""
+    return GroundTruthScores(
+        toy_scm,
+        predict=lambda t: (t.codes("X") + t.codes("Z")) >= 2,
+        positive=lambda o: np.asarray(o, dtype=bool),
+        n_samples=30_000,
+        seed=3,
+    )
+
+
+class TestGroundTruthScores:
+    def test_factual_positive_matches_rule(self, truth):
+        pop = truth.population
+        expected = (pop.codes("X") + pop.codes("Z")) >= 2
+        assert np.array_equal(truth.factual_positive, expected)
+
+    def test_deterministic_rule_given_context(self, truth):
+        # Units with Z=1, X=0 (negative): do(X=2) makes 3 >= 2 always.
+        assert truth.sufficiency("X", 2, 0, {"Z": 1}) == 1.0
+        # Units with Z=0, X=0: do(X=1) gives 1 < 2 — never sufficient.
+        assert truth.sufficiency("X", 1, 0, {"Z": 0}) == 0.0
+
+    def test_necessity_deterministic(self, truth):
+        # Z=0, X=2 positives: dropping to 1 always flips.
+        assert truth.necessity("X", 2, 1, {"Z": 0}) == 1.0
+        # Z=1, X=2 positives: dropping to 1 keeps 2 >= 2.
+        assert truth.necessity("X", 2, 1, {"Z": 1}) == 0.0
+
+    def test_nesuf_equals_flip_fraction(self, truth):
+        # Globally: flips for X: 2 vs 0 happen iff Z = 1... plus Z=0 units
+        # where 2+0 >= 2 but 0+0 < 2 — i.e. always. NESUF(X: 2 vs 0) = 1.
+        assert truth.necessity_sufficiency("X", 2, 0) == 1.0
+        # X: 1 vs 0 flips only for Z=1 units.
+        p_z1 = truth.population.codes("Z").mean()
+        assert truth.necessity_sufficiency("X", 1, 0) == pytest.approx(p_z1, abs=0.02)
+
+    def test_scores_dict(self, truth):
+        out = truth.scores("X", 2, 0, {"Z": 1})
+        assert set(out) == {"necessity", "sufficiency", "necessity_sufficiency"}
+
+    def test_intervening_on_z_propagates_to_x(self, toy_scm):
+        """do(Z) must flow through X (descendant response)."""
+        truth = GroundTruthScores(
+            toy_scm,
+            predict=lambda t: (t.codes("X") + t.codes("Z")) >= 2,
+            positive=lambda o: np.asarray(o, dtype=bool),
+            n_samples=20_000,
+            seed=4,
+        )
+        # Setting Z=1 raises X stochastically AND adds 1 directly: the
+        # sufficiency of Z for negative units must be strictly positive.
+        assert truth.sufficiency("Z", 1, 0) > 0.2
+
+    def test_no_support_raises(self, truth):
+        with pytest.raises(EstimationError):
+            # X=2 combined with factual X=0 context is contradictory.
+            truth.necessity("X", 2, 0, {"X": 0})
+
+    def test_counterfactual_cache(self, truth):
+        a = truth.counterfactual_positive("X", 1)
+        b = truth.counterfactual_positive("X", 1)
+        assert a is b
+
+    def test_monotonicity_violation_zero_for_monotone(self, truth):
+        assert truth.monotonicity_violation("X", 2, 0) == 0.0
+
+    def test_monotonicity_violation_positive_for_nonmonotone(self, toy_scm):
+        truth = GroundTruthScores(
+            toy_scm,
+            predict=lambda t: t.codes("X") == 1,  # up-then-down rule
+            positive=lambda o: np.asarray(o, dtype=bool),
+            n_samples=10_000,
+            seed=5,
+        )
+        assert truth.monotonicity_violation("X", 2, 1) == 1.0

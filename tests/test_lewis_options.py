@@ -1,0 +1,136 @@
+"""Tests for Lewis configuration options and secondary API surfaces."""
+
+import numpy as np
+import pytest
+
+from repro import Lewis, fit_table_model, load_dataset, train_test_split
+from repro.core.bounds import BoundsEstimator
+from repro.core.scores import ScoreEstimator
+
+
+class TestLewisOptions:
+    def test_explicit_attribute_subset(self, german_bundle, german_model):
+        _train, test = train_test_split(german_bundle.table, seed=0)
+        lew = Lewis(
+            german_model,
+            data=test,
+            graph=german_bundle.graph,
+            positive_outcome="good",
+            attributes=["savings", "status"],
+        )
+        exp = lew.explain_global()
+        assert {s.attribute for s in exp.attribute_scores} == {"savings", "status"}
+
+    def test_infer_orderings_false_keeps_domains(self, german_bundle, german_model):
+        _train, test = train_test_split(german_bundle.table, seed=0)
+        lew = Lewis(
+            german_model,
+            data=test,
+            graph=german_bundle.graph,
+            positive_outcome="good",
+            infer_orderings=False,
+        )
+        assert lew.data.domain("purpose") == test.domain("purpose")
+
+    def test_ordering_inference_changes_unordered_domain(
+        self, german_bundle, german_model
+    ):
+        _train, test = train_test_split(german_bundle.table, seed=0)
+        with_inference = Lewis(
+            german_model, data=test, graph=german_bundle.graph,
+            positive_outcome="good",
+        )
+        # Same labels, possibly different order — and flagged ordered.
+        assert set(with_inference.data.domain("purpose")) == set(
+            test.domain("purpose")
+        )
+        assert with_inference.data.column("purpose").ordered
+
+    def test_predictions_invariant_under_reordering(
+        self, german_bundle, german_model
+    ):
+        """The black box must see the same inputs pre/post reordering."""
+        _train, test = train_test_split(german_bundle.table, seed=0)
+        plain = Lewis(
+            german_model, data=test, graph=german_bundle.graph,
+            positive_outcome="good", infer_orderings=False,
+        )
+        reordered = Lewis(
+            german_model, data=test, graph=german_bundle.graph,
+            positive_outcome="good", infer_orderings=True,
+        )
+        assert np.array_equal(plain.positive, reordered.positive)
+
+    def test_no_graph_mode(self, german_bundle, german_model):
+        _train, test = train_test_split(german_bundle.table, seed=0)
+        lew = Lewis(
+            german_model, data=test, graph=None, positive_outcome="good",
+            attributes=german_bundle.feature_names,
+        )
+        exp = lew.explain_global()
+        assert len(exp.attribute_scores) == len(german_bundle.feature_names)
+
+    def test_score_intervals_surface(self, german_lewis):
+        out = german_lewis.score_intervals(
+            "savings", ">1000 DM", "<100 DM", n_bootstrap=8
+        )
+        assert set(out) == {"necessity", "sufficiency", "necessity_sufficiency"}
+        for interval in out.values():
+            assert 0.0 <= interval.lower <= interval.upper <= 1.0
+
+
+class TestBoundsWithSets:
+    @pytest.fixture(scope="class")
+    def estimator(self, toy_scm):
+        table = toy_scm.sample(15_000, seed=51).select(["Z", "X"])
+        positive = (table.codes("X") + table.codes("Z")) >= 2
+        return ScoreEstimator(
+            table, positive, diagram=toy_scm.diagram.subgraph(["Z", "X"])
+        )
+
+    def test_joint_attribute_bounds_are_valid_intervals(self, estimator):
+        bounds = BoundsEstimator(estimator).bounds(
+            {"X": 2, "Z": 1}, {"X": 0, "Z": 0}
+        )
+        for lo, hi in (
+            bounds.necessity,
+            bounds.sufficiency,
+            bounds.necessity_sufficiency,
+        ):
+            assert 0.0 <= lo <= hi <= 1.0
+
+    def test_joint_point_estimate_within_joint_bounds(self, estimator):
+        triple = estimator.scores({"X": 2, "Z": 1}, {"X": 0, "Z": 0})
+        bounds = BoundsEstimator(estimator).bounds(
+            {"X": 2, "Z": 1}, {"X": 0, "Z": 0}
+        )
+        assert bounds.contains(
+            triple.necessity,
+            triple.sufficiency,
+            triple.necessity_sufficiency,
+            tol=0.05,
+        )
+
+
+class TestRegressionThresholds:
+    def test_threshold_moves_positive_rate(self):
+        bundle = load_dataset("german_syn", n_rows=2_000, seed=0)
+        train, test = train_test_split(bundle.table, seed=0)
+        model = fit_table_model(
+            "random_forest_regressor", train, bundle.feature_names,
+            bundle.label, seed=0, n_estimators=8,
+        )
+        low = Lewis(model, data=test, graph=bundle.graph, threshold=0.3)
+        high = Lewis(model, data=test, graph=bundle.graph, threshold=0.7)
+        assert low.positive_rate >= high.positive_rate
+
+    def test_xgboost_regressor_black_box(self):
+        bundle = load_dataset("german_syn", n_rows=2_000, seed=0)
+        train, test = train_test_split(bundle.table, seed=0)
+        model = fit_table_model(
+            "xgboost_regressor", train, bundle.feature_names, bundle.label,
+            seed=0, n_estimators=20,
+        )
+        lew = Lewis(model, data=test, graph=bundle.graph, threshold=0.5)
+        exp = lew.explain_global(attributes=["saving", "status"])
+        assert exp.score_of("saving").necessity_sufficiency > 0.3

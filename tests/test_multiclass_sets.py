@@ -1,0 +1,102 @@
+"""Tests for the multi-class favourable-set extension and set scoring."""
+
+import numpy as np
+import pytest
+
+from repro import Lewis, fit_table_model, load_dataset, train_test_split
+
+
+@pytest.fixture(scope="module")
+def drug_setup():
+    bundle = load_dataset("drug", n_rows=900, seed=0)
+    train, test = train_test_split(bundle.table, seed=0)
+    model = fit_table_model(
+        "random_forest", train, bundle.feature_names, bundle.label,
+        seed=0, n_estimators=10,
+    )
+    return bundle, model, test
+
+
+class TestFavourableSets:
+    def test_single_label_partition(self, drug_setup):
+        bundle, model, test = drug_setup
+        lew = Lewis(model, data=test, graph=bundle.graph, positive_outcome="never")
+        preds = model.predict_labels(test)
+        assert lew.positive_rate == pytest.approx(
+            np.mean([p == "never" for p in preds])
+        )
+
+    def test_set_partition_widens_positive(self, drug_setup):
+        """O>= = {never, decade ago}: the partition of Section 4.1."""
+        bundle, model, test = drug_setup
+        narrow = Lewis(model, data=test, graph=bundle.graph, positive_outcome="never")
+        wide = Lewis(
+            model,
+            data=test,
+            graph=bundle.graph,
+            positive_outcome={"never", "decade ago"},
+        )
+        assert wide.positive_rate >= narrow.positive_rate
+        preds = model.predict_labels(test)
+        assert wide.positive_rate == pytest.approx(
+            np.mean([p in ("never", "decade ago") for p in preds])
+        )
+
+    def test_set_partition_scores_well_defined(self, drug_setup):
+        bundle, model, test = drug_setup
+        lew = Lewis(
+            model,
+            data=test,
+            graph=bundle.graph,
+            positive_outcome={"never", "decade ago"},
+        )
+        exp = lew.explain_global(attributes=["age", "sensation"])
+        for s in exp.attribute_scores:
+            assert 0.0 <= s.necessity_sufficiency <= 1.0
+
+    def test_callable_model_with_set(self, drug_setup):
+        bundle, _model, test = drug_setup
+        features = test.select(bundle.feature_names)
+
+        def predict(t):
+            # Pretend outcome labels: usage class by sensation code.
+            codes = t.codes("sensation")
+            labels = np.array(["never", "decade ago", "last decade"])
+            return labels[codes.clip(0, 2)]
+
+        lew = Lewis(
+            predict,
+            data=features,
+            feature_names=bundle.feature_names,
+            positive_outcome={"never", "decade ago"},
+            infer_orderings=False,
+        )
+        expected = np.isin(predict(features), ["never", "decade ago"])
+        assert lew.positive_rate == pytest.approx(expected.mean())
+
+
+class TestScoreSet:
+    def test_joint_contrast_at_least_single(self, german_lewis):
+        joint = german_lewis.score_set(
+            {"savings": ">1000 DM", "status": ">200 DM"},
+            {"savings": "<100 DM", "status": "<0 DM"},
+        )
+        single = german_lewis.score("savings", ">1000 DM", "<100 DM")
+        # Jointly flipping two favourable attributes is at least as
+        # sufficient as flipping one (monotone algorithm, same baseline
+        # population up to conditioning).
+        assert joint.sufficiency >= single.sufficiency - 0.15
+
+    def test_joint_contrast_in_unit_interval(self, german_lewis):
+        triple = german_lewis.score_set(
+            {"savings": ">1000 DM", "credit_hist": "all paid duly"},
+            {"savings": "<100 DM", "credit_hist": "delay in past"},
+        )
+        for value in triple.as_dict().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_mismatched_attribute_sets_rejected(self, german_lewis):
+        with pytest.raises(ValueError):
+            german_lewis.score_set(
+                {"savings": ">1000 DM"}, {"status": "<0 DM"}
+            )

@@ -1,0 +1,179 @@
+"""Unit tests for TableModel / fit_table_model and the logit models."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Column, Table
+from repro.estimation.logit import LogitModel, logit
+from repro.estimation.outcome_model import OutcomeProbabilityModel
+from repro.models.pipeline import MODEL_KINDS, TableModel, fit_table_model
+from repro.models.forest import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def labelled_table():
+    rng = np.random.default_rng(17)
+    n = 2_000
+    a = rng.integers(0, 3, size=n)
+    b = rng.integers(0, 2, size=n)
+    label = ((a + b) >= 2).astype(int)
+    return Table(
+        [
+            Column.from_codes("a", a, (0, 1, 2)),
+            Column.from_codes("b", b, (0, 1)),
+            Column.from_codes("y", label, ("no", "yes")),
+        ]
+    )
+
+
+class TestTableModel:
+    def test_fit_predict_codes(self, labelled_table):
+        model = fit_table_model("random_forest", labelled_table, ["a", "b"], "y", seed=0)
+        codes = model.predict_codes(labelled_table)
+        assert set(codes) <= {0, 1}
+        assert model.accuracy(labelled_table, "y") > 0.95
+
+    def test_predict_labels(self, labelled_table):
+        model = fit_table_model("logistic", labelled_table, ["a", "b"], "y")
+        labels = model.predict_labels(labelled_table)
+        assert set(labels) <= {"no", "yes"}
+
+    def test_predict_proba_shape(self, labelled_table):
+        model = fit_table_model("xgboost", labelled_table, ["a", "b"], "y", seed=0)
+        proba = model.predict_proba(labelled_table)
+        assert proba.shape == (len(labelled_table), 2)
+
+    def test_regressor_path(self):
+        rng = np.random.default_rng(2)
+        n = 800
+        a = rng.integers(0, 4, size=n)
+        score = a / 3.0
+        bins = tuple(np.round(np.linspace(0, 1, 4), 4))
+        table = Table(
+            [
+                Column.from_codes("a", a, (0, 1, 2, 3)),
+                Column.from_codes("s", a, bins),  # label value = a/3 bin
+            ]
+        )
+        model = fit_table_model("random_forest_regressor", table, ["a"], "s", seed=0)
+        values = model.predict_value(table)
+        assert np.corrcoef(values, score)[0, 1] > 0.99
+
+    def test_classifier_guard_on_regressor_methods(self, labelled_table):
+        model = fit_table_model("random_forest", labelled_table, ["a", "b"], "y", seed=0)
+        with pytest.raises(TypeError):
+            model.predict_value(labelled_table)
+
+    def test_regressor_guard_on_classifier_methods(self):
+        table = Table(
+            [
+                Column.from_codes("a", np.array([0, 1, 2, 3] * 10), (0, 1, 2, 3)),
+                Column.from_codes("s", np.array([0, 1, 2, 3] * 10), (0.0, 0.3, 0.6, 1.0)),
+            ]
+        )
+        model = fit_table_model("random_forest_regressor", table, ["a"], "s", seed=0)
+        with pytest.raises(TypeError):
+            model.predict_codes(table)
+        with pytest.raises(TypeError):
+            model.predict_proba(table)
+
+    def test_unknown_kind(self, labelled_table):
+        with pytest.raises(ValueError):
+            fit_table_model("svm", labelled_table, ["a"], "y")
+
+    def test_all_kinds_fit(self, labelled_table):
+        for kind, (_ctor, is_clf, _enc) in MODEL_KINDS.items():
+            if not is_clf:
+                continue
+            model = fit_table_model(
+                kind, labelled_table, ["a", "b"], "y", seed=0,
+                **({"epochs": 5} if kind == "neural_network" else {}),
+            )
+            assert model.accuracy(labelled_table, "y") > 0.7
+
+    def test_invalid_encoding_rejected(self):
+        with pytest.raises(ValueError):
+            TableModel(RandomForestClassifier(), ["a"], encoding="weird")
+
+    def test_outcome_domain_recorded(self, labelled_table):
+        model = fit_table_model("random_forest", labelled_table, ["a", "b"], "y", seed=0)
+        assert model.outcome_domain_ == ("no", "yes")
+
+
+class TestLogitHelpers:
+    def test_logit_clipping(self):
+        assert logit(0.5) == pytest.approx(0.0)
+        assert logit(1.0) < 20
+        assert logit(0.0) > -20
+
+    def test_logit_monotone(self):
+        assert logit(0.9) > logit(0.6) > logit(0.3)
+
+
+class TestLogitModel:
+    def test_coefficient_of_reference_category_is_zero(self, labelled_table):
+        positive = labelled_table.codes("y") == 1
+        model = LogitModel(["a"], ["b"]).fit(labelled_table.select(["a", "b"]), positive)
+        assert model.coefficient("a", 0) == 0.0
+
+    def test_coefficients_increase_with_helpful_values(self, labelled_table):
+        positive = labelled_table.codes("y") == 1
+        model = LogitModel(["a"], ["b"]).fit(labelled_table.select(["a", "b"]), positive)
+        assert model.coefficient("a", 2) > model.coefficient("a", 1) > 0
+
+    def test_probability_codes_monotone(self, labelled_table):
+        positive = labelled_table.codes("y") == 1
+        model = LogitModel(["a"], ["b"]).fit(labelled_table.select(["a", "b"]), positive)
+        probs = [model.probability_codes({"a": c, "b": 1}) for c in (0, 1, 2)]
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_length_mismatch(self, labelled_table):
+        with pytest.raises(ValueError):
+            LogitModel(["a"]).fit(labelled_table.select(["a", "b"]), np.ones(3, bool))
+
+
+class TestOutcomeProbabilityModel:
+    def test_probability_tracks_frequency(self, labelled_table):
+        positive = labelled_table.codes("y") == 1
+        model = OutcomeProbabilityModel(["a", "b"]).fit(
+            labelled_table.select(["a", "b"]), positive
+        )
+        # Compare against empirical rates on well-supported cells.
+        for a in (0, 2):
+            for b in (0, 1):
+                mask = (labelled_table.codes("a") == a) & (
+                    labelled_table.codes("b") == b
+                )
+                empirical = positive[mask].mean()
+                assert model.probability({"a": a, "b": b}) == pytest.approx(
+                    empirical, abs=0.1
+                )
+
+    def test_generalises_to_unseen_combo(self):
+        # Only 3 of 4 combinations observed; model still answers the 4th.
+        a = np.array([0, 0, 1] * 50)
+        b = np.array([0, 1, 0] * 50)
+        y = (a + b) >= 1
+        table = Table(
+            [Column.from_codes("a", a, (0, 1)), Column.from_codes("b", b, (0, 1))]
+        )
+        model = OutcomeProbabilityModel(["a", "b"]).fit(table, y)
+        assert model.probability({"a": 1, "b": 1}) > 0.5
+
+    def test_degenerate_all_positive(self, labelled_table):
+        model = OutcomeProbabilityModel(["a"]).fit(
+            labelled_table.select(["a", "b"]), np.ones(len(labelled_table), bool)
+        )
+        assert model.probability({"a": 0}) == 1.0
+
+    def test_probability_table_matches_pointwise(self, labelled_table):
+        positive = labelled_table.codes("y") == 1
+        model = OutcomeProbabilityModel(["a", "b"]).fit(
+            labelled_table.select(["a", "b"]), positive
+        )
+        vec = model.probability_table(labelled_table)
+        for i in (0, 10, 100):
+            codes = labelled_table.row_codes(i)
+            assert vec[i] == pytest.approx(
+                model.probability({"a": codes["a"], "b": codes["b"]})
+            )

@@ -1,0 +1,112 @@
+"""Property-based tests for the IP solver and ML substrate invariants."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.models.forest import RandomForestClassifier
+from repro.models.linear import LogisticRegression
+from repro.models.tree import DecisionTreeClassifier
+from repro.opt.branch_and_bound import solve_binary_program
+from repro.opt.integer_program import IntegerProgram
+from repro.utils.exceptions import RecourseInfeasibleError
+
+
+def brute_force(program):
+    c, A_ub, b_ub, A_eq, b_eq = program.matrices()
+    n = program.n_variables
+    best = np.inf
+    for bits in itertools.product([0, 1], repeat=n):
+        x = np.array(bits, dtype=float)
+        if A_ub is not None and (A_ub @ x > b_ub + 1e-9).any():
+            continue
+        if A_eq is not None and not np.allclose(A_eq @ x, b_eq, atol=1e-9):
+            continue
+        best = min(best, float(c @ x))
+    return best
+
+
+ip_instances = st.tuples(
+    st.integers(min_value=1, max_value=7),  # variables
+    st.integers(min_value=0, max_value=3),  # constraints
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+@given(ip_instances)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_branch_and_bound_matches_brute_force(params):
+    n, m, seed = params
+    rng = np.random.default_rng(seed)
+    program = IntegerProgram()
+    for i in range(n):
+        program.add_variable(i, cost=float(rng.normal()))
+    for _ in range(m):
+        coeffs = {i: float(rng.normal()) for i in range(n)}
+        program.add_le_constraint(coeffs, float(rng.uniform(-0.5, 1.5)))
+    reference = brute_force(program)
+    if np.isinf(reference):
+        with pytest.raises(RecourseInfeasibleError):
+            solve_binary_program(program)
+    else:
+        solution = solve_binary_program(program)
+        assert solution.objective == pytest.approx(reference, abs=1e-6)
+        # The returned assignment must itself be feasible and attain it.
+        x = np.array([solution.values[i] for i in range(n)], dtype=float)
+        c, A_ub, b_ub, _aeq, _beq = program.matrices()
+        if A_ub is not None:
+            assert (A_ub @ x <= b_ub + 1e-6).all()
+        assert float(c @ x) == pytest.approx(solution.objective, abs=1e-9)
+
+
+classification_data = st.tuples(
+    st.integers(min_value=30, max_value=120),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+@given(classification_data)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_tree_proba_is_distribution(params):
+    n, d, seed = params
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] + 0.3 * rng.normal(size=n) > 0).astype(int)
+    if len(np.unique(y)) < 2:
+        return
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    proba = tree.predict_proba(X)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert (proba >= 0).all()
+
+
+@given(classification_data)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_forest_prediction_in_training_label_set(params):
+    n, d, seed = params
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = rng.integers(0, 3, size=n)
+    if len(np.unique(y)) < 2:
+        return
+    forest = RandomForestClassifier(n_estimators=4, max_depth=3, seed=0).fit(X, y)
+    assert set(forest.predict(X)) <= set(np.unique(y))
+
+
+@given(classification_data)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_logistic_proba_bounds(params):
+    n, d, seed = params
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] > 0).astype(int)
+    if len(np.unique(y)) < 2:
+        return
+    model = LogisticRegression().fit(X, y)
+    proba = model.predict_proba(X)
+    assert (proba > 0).all() and (proba < 1).all()
+    assert np.allclose(proba.sum(axis=1), 1.0)

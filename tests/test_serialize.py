@@ -1,0 +1,133 @@
+"""Round-trip tests for JSON model serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.models.boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.models.forest import RandomForestClassifier, RandomForestRegressor
+from repro.models.linear import LinearRegression, LogisticRegression
+from repro.models.neural import NeuralNetworkClassifier
+from repro.models.pipeline import fit_table_model
+from repro.models.serialize import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.models.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+@pytest.fixture(scope="module")
+def clf_data():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(300, 4))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def reg_data():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(300, 3))
+    y = X @ np.array([1.0, -2.0, 0.5]) + 0.1 * rng.normal(size=300)
+    return X, y
+
+
+CLASSIFIERS = [
+    lambda: DecisionTreeClassifier(max_depth=4),
+    lambda: RandomForestClassifier(n_estimators=5, max_depth=4, seed=0),
+    lambda: GradientBoostingClassifier(n_estimators=8, max_depth=2, seed=0),
+    lambda: LogisticRegression(),
+    lambda: NeuralNetworkClassifier(hidden_sizes=(8,), epochs=5, seed=0),
+]
+
+REGRESSORS = [
+    lambda: DecisionTreeRegressor(max_depth=4),
+    lambda: RandomForestRegressor(n_estimators=5, max_depth=4, seed=0),
+    lambda: GradientBoostingRegressor(n_estimators=8, max_depth=2, seed=0),
+    lambda: LinearRegression(),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("factory", CLASSIFIERS)
+    def test_classifier_predictions_preserved(self, factory, clf_data):
+        X, y = clf_data
+        model = factory().fit(X, y)
+        restored = model_from_dict(model_to_dict(model))
+        assert np.array_equal(restored.predict(X), model.predict(X))
+        assert np.allclose(restored.predict_proba(X), model.predict_proba(X))
+
+    @pytest.mark.parametrize("factory", REGRESSORS)
+    def test_regressor_predictions_preserved(self, factory, reg_data):
+        X, y = reg_data
+        model = factory().fit(X, y)
+        restored = model_from_dict(model_to_dict(model))
+        assert np.allclose(restored.predict(X), model.predict(X))
+
+    def test_save_and_load_file(self, tmp_path, clf_data):
+        X, y = clf_data
+        model = RandomForestClassifier(n_estimators=3, seed=0).fit(X, y)
+        path = tmp_path / "model.json"
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(restored.predict(X), model.predict(X))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            model_to_dict(object())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TypeError):
+            model_from_dict({"kind": "Bogus", "payload": {}})
+
+
+class TestTableModelRoundTrip:
+    def test_ordinal_table_model(self, german_bundle, tmp_path):
+        model = fit_table_model(
+            "random_forest",
+            german_bundle.table,
+            german_bundle.feature_names,
+            german_bundle.label,
+            seed=0,
+            n_estimators=5,
+            max_depth=5,
+        )
+        path = tmp_path / "tm.json"
+        save_model(model, path)
+        restored = load_model(path)
+        table = german_bundle.table
+        assert np.array_equal(
+            restored.predict_codes(table), model.predict_codes(table)
+        )
+        assert restored.outcome_domain_ == model.outcome_domain_
+
+    def test_onehot_table_model(self, german_bundle, tmp_path):
+        model = fit_table_model(
+            "logistic",
+            german_bundle.table,
+            german_bundle.feature_names,
+            german_bundle.label,
+        )
+        path = tmp_path / "tm.json"
+        save_model(model, path)
+        restored = load_model(path)
+        table = german_bundle.table
+        assert np.allclose(
+            restored.predict_proba(table), model.predict_proba(table)
+        )
+
+    def test_restored_model_drives_lewis(self, german_bundle, tmp_path):
+        from repro import Lewis, train_test_split
+
+        train, test = train_test_split(german_bundle.table, seed=0)
+        model = fit_table_model(
+            "random_forest", train, german_bundle.feature_names,
+            german_bundle.label, seed=0, n_estimators=5,
+        )
+        path = tmp_path / "tm.json"
+        save_model(model, path)
+        restored = load_model(path)
+        a = Lewis(model, data=test, graph=german_bundle.graph, positive_outcome="good")
+        b = Lewis(restored, data=test, graph=german_bundle.graph, positive_outcome="good")
+        assert np.array_equal(a.positive, b.positive)

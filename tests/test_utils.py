@@ -1,0 +1,99 @@
+"""Unit tests for utils: rng, validation, exceptions."""
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import (
+    DomainError,
+    EstimationError,
+    GraphError,
+    NotFittedError,
+    RecourseInfeasibleError,
+    ReproError,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_fitted,
+    check_in_domain,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestRng:
+    def test_as_generator_from_int_is_deterministic(self):
+        a = as_generator(5).random(3)
+        b = as_generator(5).random(3)
+        assert np.array_equal(a, b)
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_as_generator_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_generators_independent_streams(self):
+        gens = spawn_generators(0, 3)
+        draws = [g.random() for g in gens]
+        assert len(set(draws)) == 3
+
+    def test_spawn_generators_deterministic(self):
+        a = [g.random() for g in spawn_generators(9, 2)]
+        b = [g.random() for g in spawn_generators(9, 2)]
+        assert a == b
+
+    def test_spawn_zero(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestValidation:
+    def test_check_probability_accepts_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+
+    def test_check_probability_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+        with pytest.raises(ValueError):
+            check_probability(-0.1, name="alpha")
+
+    def test_check_in_domain(self):
+        assert check_in_domain("a", ["a", "b"]) == "a"
+        with pytest.raises(DomainError):
+            check_in_domain("c", ["a", "b"])
+
+    def test_check_same_length(self):
+        assert check_same_length([1, 2], "ab") == 2
+        assert check_same_length() == 0
+        with pytest.raises(ValueError):
+            check_same_length([1], [1, 2])
+
+    def test_check_fitted(self):
+        class Thing:
+            model_ = None
+
+        with pytest.raises(NotFittedError):
+            check_fitted(Thing(), "model_")
+        thing = Thing()
+        thing.model_ = object()
+        check_fitted(thing, "model_")  # should not raise
+
+
+class TestExceptions:
+    @pytest.mark.parametrize(
+        "exc",
+        [DomainError, GraphError, EstimationError, RecourseInfeasibleError, NotFittedError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_domain_error_is_value_error(self):
+        assert issubclass(DomainError, ValueError)
+
+    def test_estimation_error_is_runtime_error(self):
+        assert issubclass(EstimationError, RuntimeError)

@@ -1,0 +1,176 @@
+"""Unit tests for LIME, Kernel SHAP, permutation importance, rankings."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Column, Table
+from repro.xai.feat import permutation_importance
+from repro.xai.lime import LimeExplainer
+from repro.xai.ranking import kendall_tau, normalise_scores, rank_of, ranking_from_scores
+from repro.xai.shap import KernelShapExplainer
+
+
+@pytest.fixture(scope="module")
+def xai_setup():
+    """Three features; the rule uses only 'a' and 'b' (a twice as strong)."""
+    rng = np.random.default_rng(5)
+    n = 3_000
+    a = rng.integers(0, 3, size=n)
+    b = rng.integers(0, 3, size=n)
+    noise = rng.integers(0, 3, size=n)
+    table = Table(
+        [
+            Column.from_codes("a", a, (0, 1, 2)),
+            Column.from_codes("b", b, (0, 1, 2)),
+            Column.from_codes("noise", noise, (0, 1, 2)),
+        ]
+    )
+
+    def predict(t):
+        return (2 * t.codes("a") + t.codes("b")) >= 4
+
+    return table, predict
+
+
+class TestLime:
+    def test_relevant_features_outrank_noise(self, xai_setup):
+        table, predict = xai_setup
+        lime = LimeExplainer(predict, table, n_samples=800, seed=0)
+        exp = lime.explain({"a": 2, "b": 2, "noise": 0})
+        ranking = exp.ranking()
+        assert ranking.index("a") < ranking.index("noise")
+        assert ranking.index("b") < ranking.index("noise")
+
+    def test_weight_signs_reflect_support(self, xai_setup):
+        table, predict = xai_setup
+        lime = LimeExplainer(predict, table, n_samples=800, seed=0)
+        # For a positive instance at a=2, keeping a at its value should
+        # support the positive prediction: positive weight.
+        exp = lime.explain({"a": 2, "b": 2, "noise": 1})
+        assert exp.weights["a"] > 0
+
+    def test_deterministic_given_seed(self, xai_setup):
+        table, predict = xai_setup
+        a = LimeExplainer(predict, table, n_samples=300, seed=9).explain(
+            {"a": 1, "b": 1, "noise": 0}
+        )
+        b = LimeExplainer(predict, table, n_samples=300, seed=9).explain(
+            {"a": 1, "b": 1, "noise": 0}
+        )
+        assert a.weights == b.weights
+
+    def test_local_prediction_close_to_black_box(self, xai_setup):
+        table, predict = xai_setup
+        lime = LimeExplainer(predict, table, n_samples=1_500, seed=1)
+        exp = lime.explain({"a": 2, "b": 2, "noise": 0})
+        assert exp.local_prediction == pytest.approx(1.0, abs=0.35)
+
+
+class TestKernelShap:
+    def test_efficiency_property(self, xai_setup):
+        table, predict = xai_setup
+        shap = KernelShapExplainer(predict, table, n_background=40, seed=0)
+        exp = shap.explain({"a": 2, "b": 2, "noise": 0})
+        assert sum(exp.values.values()) == pytest.approx(
+            exp.prediction - exp.base_value, abs=1e-8
+        )
+
+    def test_irrelevant_feature_near_zero(self, xai_setup):
+        table, predict = xai_setup
+        shap = KernelShapExplainer(predict, table, n_background=60, seed=0)
+        exp = shap.explain({"a": 2, "b": 2, "noise": 0})
+        assert abs(exp.values["noise"]) < 0.05
+        assert abs(exp.values["a"]) > abs(exp.values["noise"])
+
+    def test_symmetry_of_identical_features(self):
+        rng = np.random.default_rng(3)
+        n = 2_000
+        a = rng.integers(0, 2, size=n)
+        b = rng.integers(0, 2, size=n)
+        table = Table(
+            [Column.from_codes("a", a, (0, 1)), Column.from_codes("b", b, (0, 1))]
+        )
+
+        def predict(t):
+            return (t.codes("a") + t.codes("b")) >= 1
+
+        shap = KernelShapExplainer(predict, table, n_background=80, seed=0)
+        exp = shap.explain({"a": 1, "b": 1})
+        assert exp.values["a"] == pytest.approx(exp.values["b"], abs=0.03)
+
+    def test_single_attribute_gets_full_gap(self, xai_setup):
+        table, predict = xai_setup
+        shap = KernelShapExplainer(
+            predict, table, attributes=["a"], n_background=40, seed=0
+        )
+        exp = shap.explain({"a": 2, "b": 0, "noise": 0})
+        assert list(exp.values) == ["a"]
+        assert exp.values["a"] == pytest.approx(exp.prediction - exp.base_value)
+
+    def test_sampled_regime_still_efficient(self, xai_setup):
+        table, predict = xai_setup
+        shap = KernelShapExplainer(
+            predict,
+            table,
+            n_background=20,
+            max_exact_attributes=1,  # force sampling
+            n_coalitions=256,
+            seed=0,
+        )
+        exp = shap.explain({"a": 2, "b": 2, "noise": 0})
+        assert sum(exp.values.values()) == pytest.approx(
+            exp.prediction - exp.base_value, abs=1e-8
+        )
+
+    def test_global_importance_ranks_relevant_first(self, xai_setup):
+        table, predict = xai_setup
+        shap = KernelShapExplainer(predict, table, n_background=25, seed=0)
+        imp = shap.global_importance(table, n_instances=15)
+        assert imp["a"] > imp["noise"]
+
+
+class TestPermutationImportance:
+    def test_relevant_feature_dominates(self, xai_setup):
+        table, predict = xai_setup
+        reference = predict(table)
+        imp = permutation_importance(predict, table, reference, n_repeats=3, seed=0)
+        assert imp["a"] > imp["noise"]
+        assert imp["b"] > imp["noise"]
+
+    def test_noise_feature_near_zero(self, xai_setup):
+        table, predict = xai_setup
+        reference = predict(table)
+        imp = permutation_importance(predict, table, reference, n_repeats=3, seed=0)
+        assert imp["noise"] < 0.02
+
+    def test_importances_non_negative(self, xai_setup):
+        table, predict = xai_setup
+        imp = permutation_importance(predict, table, predict(table), seed=1)
+        assert all(v >= 0 for v in imp.values())
+
+
+class TestRankingHelpers:
+    def test_normalise_scores(self):
+        out = normalise_scores({"a": 2.0, "b": -4.0})
+        assert out == {"a": 0.5, "b": -1.0}
+
+    def test_normalise_all_zero(self):
+        assert normalise_scores({"a": 0.0}) == {"a": 0.0}
+
+    def test_ranking_from_scores_uses_magnitude(self):
+        assert ranking_from_scores({"a": -0.9, "b": 0.5}) == ["a", "b"]
+
+    def test_rank_of(self):
+        assert rank_of({"a": 0.9, "b": 0.5}, "b") == 2
+
+    def test_kendall_tau_identical(self):
+        assert kendall_tau(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_kendall_tau_reversed(self):
+        assert kendall_tau(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+
+    def test_kendall_tau_partial_overlap(self):
+        assert kendall_tau(["a", "b", "x"], ["b", "a", "y"]) == -1.0
+
+    def test_kendall_tau_degenerate(self):
+        assert kendall_tau(["a"], ["a"]) == 1.0
