@@ -9,7 +9,6 @@
   non-increasing from 1k to 50k rows.
 """
 
-import numpy as np
 import pytest
 
 from repro import GroundTruthScores, Lewis, load_dataset

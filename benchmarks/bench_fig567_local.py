@@ -12,8 +12,6 @@ paper's qualitative reading:
   side of the prediction.
 """
 
-import pytest
-
 from benchmarks.conftest import write_report
 
 

@@ -11,8 +11,6 @@ The paper's headline divergences, asserted as shapes:
 * All methods broadly agree on the dominant attributes (9c/9d).
 """
 
-import pytest
-
 from repro.xai.feat import permutation_importance
 from repro.xai.ranking import rank_of, ranking_from_scores
 from repro.xai.shap import KernelShapExplainer

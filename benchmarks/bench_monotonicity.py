@@ -10,9 +10,6 @@ the estimation error vs ground truth. Paper's claims, asserted:
   of ground truth and the attribute ranking is preserved.
 """
 
-import numpy as np
-import pytest
-
 from repro import GroundTruthScores, Lewis, fit_table_model, load_dataset, train_test_split
 from repro.xai.ranking import kendall_tau
 

@@ -14,8 +14,6 @@ three-step procedure gives exact counterfactual scores.  This example
 Run:  python examples/synthetic_ground_truth.py
 """
 
-import numpy as np
-
 from repro import GroundTruthScores, Lewis, fit_table_model, load_dataset, train_test_split
 
 

@@ -55,6 +55,7 @@ from repro.data import (
     load_dataset,
     train_test_split,
 )
+from repro.estimation import ContingencyEngine, FrequencyEstimator
 from repro.models import TableModel, fit_table_model
 
 __version__ = "1.0.0"
@@ -75,7 +76,9 @@ __all__ = [
     "ScoreEstimator",
     "ScoreTriple",
     "Column",
+    "ContingencyEngine",
     "DatasetBundle",
+    "FrequencyEstimator",
     "Table",
     "available_datasets",
     "load_dataset",

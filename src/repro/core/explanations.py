@@ -13,11 +13,10 @@ sentences of the paper's template (1) via ``statements()``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
-from repro.core.scores import ScoreEstimator, ScoreTriple
-from repro.data.table import Table
+from repro.core.scores import ScoreEstimator
 
 SCORE_KEYS = ("necessity", "sufficiency", "necessity_sufficiency")
 
@@ -191,52 +190,79 @@ def _ordered_pairs(cardinality: int) -> Iterable[tuple[int, int]]:
             yield hi, lo
 
 
+def _truncated_pairs(
+    cardinality: int, max_pairs: int | None
+) -> list[tuple[int, int]]:
+    """Ordered value pairs of one attribute, optionally capped."""
+    pairs = list(_ordered_pairs(cardinality))
+    if max_pairs is not None and len(pairs) > max_pairs:
+        # Prefer extreme contrasts, which carry the max in practice.
+        pairs.sort(key=lambda p: p[0] - p[1], reverse=True)
+        pairs = pairs[:max_pairs]
+    return pairs
+
+
 def build_global_explanation(
     estimator: ScoreEstimator,
     attributes: Sequence[str],
     context: Mapping[str, int] | None = None,
     context_labels: Mapping[str, Any] | None = None,
     max_pairs_per_attribute: int | None = None,
+    batched: bool = True,
 ) -> GlobalExplanation:
     """Score every attribute by its best value pair in ``context``.
 
     ``context`` is code-level; ``context_labels`` (optional) is the
     decoded version recorded on the explanation for display.
+
+    Every attribute's ordered value pairs are enumerated up front and
+    dispatched as *one* :meth:`ScoreEstimator.scores_batch` call, so the
+    whole explanation costs a few vectorized passes over the engine's
+    count tensors.  ``batched=False`` keeps the historical
+    one-scalar-call-per-pair loop (used by benchmarks and parity tests);
+    both paths produce identical explanations.
     """
     context = dict(context or {})
     table = estimator.table
-    scores: list[AttributeScore] = []
-    for attribute in attributes:
-        if attribute in context:
-            continue
+    scored = [a for a in attributes if a not in context]
+    contrasts: list[tuple[dict, dict]] = []
+    owners: list[tuple[str, int, int]] = []
+    for attribute in scored:
         col = table.column(attribute)
-        best = {k: 0.0 for k in SCORE_KEYS}
-        best_pair: dict[str, tuple | None] = {k: None for k in SCORE_KEYS}
-        pairs = list(_ordered_pairs(col.cardinality))
-        if max_pairs_per_attribute is not None and len(pairs) > max_pairs_per_attribute:
-            # Prefer extreme contrasts, which carry the max in practice.
-            pairs.sort(key=lambda p: p[0] - p[1], reverse=True)
-            pairs = pairs[:max_pairs_per_attribute]
-        for hi, lo in pairs:
-            triple = estimator.scores(
-                {attribute: hi}, {attribute: lo}, context
-            )
-            for key in SCORE_KEYS:
-                value = getattr(triple, key)
-                if value > best[key]:
-                    best[key] = value
-                    best_pair[key] = (col.categories[hi], col.categories[lo])
-        scores.append(
-            AttributeScore(
-                attribute=attribute,
-                necessity=best["necessity"],
-                sufficiency=best["sufficiency"],
-                necessity_sufficiency=best["necessity_sufficiency"],
-                best_pair_necessity=best_pair["necessity"],
-                best_pair_sufficiency=best_pair["sufficiency"],
-                best_pair_nesuf=best_pair["necessity_sufficiency"],
-            )
+        for hi, lo in _truncated_pairs(col.cardinality, max_pairs_per_attribute):
+            contrasts.append(({attribute: hi}, {attribute: lo}))
+            owners.append((attribute, hi, lo))
+    if batched:
+        triples = estimator.scores_batch(contrasts, context)
+    else:
+        triples = [
+            estimator.scores(treatment, baseline, context)
+            for treatment, baseline in contrasts
+        ]
+
+    best = {a: {k: 0.0 for k in SCORE_KEYS} for a in scored}
+    best_pair: dict[str, dict[str, tuple | None]] = {
+        a: {k: None for k in SCORE_KEYS} for a in scored
+    }
+    for (attribute, hi, lo), triple in zip(owners, triples):
+        col = table.column(attribute)
+        for key in SCORE_KEYS:
+            value = getattr(triple, key)
+            if value > best[attribute][key]:
+                best[attribute][key] = value
+                best_pair[attribute][key] = (col.categories[hi], col.categories[lo])
+    scores = [
+        AttributeScore(
+            attribute=attribute,
+            necessity=best[attribute]["necessity"],
+            sufficiency=best[attribute]["sufficiency"],
+            necessity_sufficiency=best[attribute]["necessity_sufficiency"],
+            best_pair_necessity=best_pair[attribute]["necessity"],
+            best_pair_sufficiency=best_pair[attribute]["sufficiency"],
+            best_pair_nesuf=best_pair[attribute]["necessity_sufficiency"],
         )
+        for attribute in scored
+    ]
     labels = dict(context_labels or {})
     if not labels and context:
         labels = {

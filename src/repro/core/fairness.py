@@ -10,10 +10,8 @@ the classical observational disparity for reference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
-
-import numpy as np
 
 from repro.core.lewis import Lewis
 

@@ -30,6 +30,7 @@ from repro.core.ordering import order_table_attributes
 from repro.core.recourse import CostFn, Recourse, RecourseSolver
 from repro.core.scores import ScoreEstimator, ScoreTriple
 from repro.data.table import Table
+from repro.estimation.adjustment import adjusted_probability
 from repro.models.pipeline import TableModel
 
 
@@ -229,8 +230,6 @@ class Lewis:
         adjustment = estimator._adjustment_for(
             list(treatment), list(context_codes)
         )
-        from repro.estimation.adjustment import adjusted_probability
-
         return adjusted_probability(
             estimator.frequency_estimator,
             event={estimator._outcome: 1 if positive else 0},
@@ -238,6 +237,37 @@ class Lewis:
             adjustment=adjustment,
             weight_condition={},
             context=context_codes,
+        )
+
+    def scores_batch(
+        self,
+        contrasts: Sequence[tuple[Mapping[str, Any], Mapping[str, Any]]],
+        context: Mapping[str, Any] | None = None,
+    ) -> list[ScoreTriple]:
+        """Batched labelled scores for many ``(values, baselines)`` contrasts.
+
+        Each contrast is a pair of ``{attribute: label}`` mappings (as
+        accepted by :meth:`score_set`); all contrasts share one
+        ``context``.  The whole batch is evaluated in a few vectorized
+        passes over the contingency engine — the fast path behind
+        :meth:`explain_global` — and results align with the input order.
+        """
+        encoded = []
+        for values, baselines in contrasts:
+            encoded.append(
+                (
+                    {
+                        name: self.data.column(name).code_of(value)
+                        for name, value in values.items()
+                    },
+                    {
+                        name: self.data.column(name).code_of(value)
+                        for name, value in baselines.items()
+                    },
+                )
+            )
+        return self.estimator.scores_batch(
+            encoded, self._encode_context(context or {})
         )
 
     def score_set(

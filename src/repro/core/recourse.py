@@ -19,10 +19,8 @@ threshold is tightened and the IP re-solved (a standard cut loop).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
-
-import numpy as np
 
 from repro.core.scores import ScoreEstimator
 from repro.data.table import Table

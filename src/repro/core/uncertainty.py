@@ -11,12 +11,12 @@ user can then distinguish "sufficiency 0.6 ± 0.02" from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.causal.graph import CausalDiagram
-from repro.core.scores import ScoreEstimator
+from repro.core.scores import SCORE_KINDS, ScoreEstimator
 from repro.data.table import Table
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_probability
@@ -89,11 +89,14 @@ class BootstrapScores:
         ``necessity_sufficiency``; ``level`` the two-sided coverage.
         """
         check_probability(level, "level")
-        point = getattr(self._point, kind)(treatment, baseline, context)
+        contrast = [(treatment, baseline)]
+        point = self._point.score_arrays(contrast, context, kinds=(kind,))[kind][0]
         draws = np.empty(self.n_bootstrap)
         for i in range(self.n_bootstrap):
             estimator = self._replicate()
-            draws[i] = getattr(estimator, kind)(treatment, baseline, context)
+            draws[i] = estimator.score_arrays(contrast, context, kinds=(kind,))[
+                kind
+            ][0]
         tail = (1.0 - level) / 2.0
         lower, upper = np.quantile(draws, [tail, 1.0 - tail])
         return ScoreInterval(
@@ -112,23 +115,47 @@ class BootstrapScores:
         level: float = 0.9,
     ) -> dict[str, ScoreInterval]:
         """All three scores' intervals, sharing the bootstrap replicates."""
+        return self.intervals_batch([(treatment, baseline)], context, level)[0]
+
+    def intervals_batch(
+        self,
+        contrasts: Sequence[tuple[Mapping[str, int], Mapping[str, int]]],
+        context: Mapping[str, int] | None = None,
+        level: float = 0.9,
+    ) -> list[dict[str, ScoreInterval]]:
+        """Intervals for many contrasts, sharing the bootstrap replicates.
+
+        Every replicate evaluates *all* contrasts and all three score
+        kinds with one :meth:`ScoreEstimator.score_arrays` call, so the
+        bootstrap cost is ``n_bootstrap`` vectorized passes rather than
+        ``n_bootstrap × n_contrasts × 3`` scalar score computations.
+        Entry ``i`` of the result holds ``{kind: ScoreInterval}`` for
+        ``contrasts[i]``.
+        """
         check_probability(level, "level")
-        kinds = ("necessity", "sufficiency", "necessity_sufficiency")
-        points = {k: getattr(self._point, k)(treatment, baseline, context) for k in kinds}
-        draws = {k: np.empty(self.n_bootstrap) for k in kinds}
+        contrasts = list(contrasts)
+        points = self._point.score_arrays(contrasts, context)
+        draws = {
+            kind: np.empty((self.n_bootstrap, len(contrasts)))
+            for kind in SCORE_KINDS
+        }
         for i in range(self.n_bootstrap):
             estimator = self._replicate()
-            for k in kinds:
-                draws[k][i] = getattr(estimator, k)(treatment, baseline, context)
+            replicate = estimator.score_arrays(contrasts, context)
+            for kind in SCORE_KINDS:
+                draws[kind][i] = replicate[kind]
         tail = (1.0 - level) / 2.0
-        out = {}
-        for k in kinds:
-            lower, upper = np.quantile(draws[k], [tail, 1.0 - tail])
-            out[k] = ScoreInterval(
-                point=float(points[k]),
-                lower=float(lower),
-                upper=float(upper),
-                level=level,
-                n_bootstrap=self.n_bootstrap,
-            )
+        out: list[dict[str, ScoreInterval]] = []
+        for j in range(len(contrasts)):
+            entry = {}
+            for kind in SCORE_KINDS:
+                lower, upper = np.quantile(draws[kind][:, j], [tail, 1.0 - tail])
+                entry[kind] = ScoreInterval(
+                    point=float(points[kind][j]),
+                    lower=float(lower),
+                    upper=float(upper),
+                    level=level,
+                    n_bootstrap=self.n_bootstrap,
+                )
+            out.append(entry)
         return out

@@ -13,8 +13,6 @@ paper's figures (3a, 4a, 5, 9a, 10a/b) read the same way.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.causal.equations import (
     linear_threshold,
     logistic_binary,

@@ -17,7 +17,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.causal.equations import (
-    deterministic,
     linear_threshold,
     logistic_binary,
     root_categorical,

@@ -8,17 +8,34 @@ where ``c`` ranges over the observed configurations of an adjustment set
 ``C``.  Configurations without support for the inner conditional fall back
 to the unadjusted conditional (equivalent to assuming no effect
 modification on unobserved cells), which keeps the estimator total.
+
+Two entry points are provided: :func:`adjusted_probability` answers one
+query, and :func:`adjusted_probabilities` answers a whole batch of
+queries — all sharing the event, adjustment set, and context, with
+per-query treatment and weight conditions — in one vectorized pass over
+the engine's cached count tensors.  The scalar form delegates to the
+batched one, so both produce bit-identical results.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import numpy as np
+
+from repro.estimation.engine import ContingencyEngine
 from repro.estimation.probability import FrequencyEstimator
 
 
+def _engine_of(
+    estimator: FrequencyEstimator | ContingencyEngine,
+) -> ContingencyEngine:
+    """Accept either a scalar estimator facade or the engine itself."""
+    return getattr(estimator, "engine", estimator)
+
+
 def adjusted_probability(
-    estimator: FrequencyEstimator,
+    estimator: FrequencyEstimator | ContingencyEngine,
     event: Mapping[str, int],
     treatment: Mapping[str, int],
     adjustment: Sequence[str],
@@ -29,6 +46,8 @@ def adjusted_probability(
 
     Parameters
     ----------
+    estimator:
+        A :class:`FrequencyEstimator` (or its engine) over the table.
     event:
         Outcome event codes, e.g. ``{"O": 1}``.
     treatment:
@@ -45,31 +64,36 @@ def adjusted_probability(
     context:
         The sub-population codes ``k`` added to every conditioning event.
     """
-    context = dict(context or {})
-    weight_condition = dict(weight_condition or {})
-    adjustment = [a for a in adjustment if a not in context]
-    if not adjustment:
-        return estimator.probability(event, {**treatment, **context})
-
-    weights = estimator.group_probabilities(
-        list(adjustment), {**weight_condition, **context}
+    return float(
+        adjusted_probabilities(
+            estimator,
+            event,
+            [dict(treatment)],
+            adjustment,
+            [dict(weight_condition or {})],
+            context,
+        )[0]
     )
-    total = 0.0
-    fallback = None
-    for combo, weight in weights.items():
-        cond = dict(zip(adjustment, combo))
-        cond.update(treatment)
-        cond.update(context)
-        inner = None
-        try:
-            inner = estimator.probability(event, cond)
-        except Exception:
-            # No rows with this (c, x, k) cell: fall back to the
-            # unadjusted conditional so the mixture stays a probability.
-            if fallback is None:
-                fallback = estimator.probability_or_default(
-                    event, {**treatment, **context}, default=0.0
-                )
-            inner = fallback
-        total += weight * inner
-    return total
+
+
+def adjusted_probabilities(
+    estimator: FrequencyEstimator | ContingencyEngine,
+    event: Mapping[str, int],
+    treatments: Sequence[Mapping[str, int]],
+    adjustment: Sequence[str],
+    weight_conditions: Sequence[Mapping[str, int]] | None = None,
+    context: Mapping[str, int] | None = None,
+) -> np.ndarray:
+    """Batched sibling of :func:`adjusted_probability`.
+
+    Evaluates ``len(treatments)`` adjustment sums in one vectorized pass:
+    the adjustment cells become tensor axes, so every (query, cell) inner
+    conditional comes from two fancy-index lookups instead of a mask scan,
+    and the mixture is a single broadcast multiply-sum.  Entry ``i`` uses
+    ``treatments[i]`` and ``weight_conditions[i]`` (``{}`` — i.e. the
+    context alone — when ``weight_conditions`` is omitted); ``event``,
+    ``adjustment`` and ``context`` are shared across the batch.
+    """
+    return _engine_of(estimator).adjusted_probabilities(
+        event, treatments, adjustment, weight_conditions, context
+    )

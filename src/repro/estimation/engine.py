@@ -1,0 +1,582 @@
+"""Vectorized contingency-table query engine for batched frequency queries.
+
+Every LEWIS quantity (Propositions 4.1–4.2) reduces to conditional
+frequencies over the black box's input-output table.  The scalar
+:class:`~repro.estimation.probability.FrequencyEstimator` answers one
+query per full-table boolean-mask scan; this module replaces those scans
+with *cached grouped count tensors*: for a set of columns the engine
+packs the per-row codes into a single integer key, runs one
+``np.bincount``, and reshapes the result into a dense contingency tensor
+with one axis per column.  Any conditional probability over those
+columns then becomes O(1) tensor indexing, and a batch of N related
+queries (same column signature, different codes) is answered with one
+vectorized fancy-indexing pass instead of N mask scans.
+
+Batched query API
+-----------------
+
+``probabilities(events, givens)``
+    N conditional probabilities ``Pr(event_i | given_i)`` per vectorized
+    pass, grouped internally by column signature.  Mirrors
+    ``FrequencyEstimator.probability`` semantics exactly (overlap
+    handling, Laplace smoothing, :class:`EstimationError` on unsupported
+    conditions — or a ``default`` fill value).
+
+``group_weights(names, given)``
+    The joint distribution of the ``names`` columns restricted to the
+    rows matching ``given`` — the mixing weights of a backdoor
+    adjustment sum — as a ``(combos, weights)`` array pair over the
+    observed support.
+
+``adjusted_probabilities(event, treatments, adjustment, ...)``
+    N backdoor-adjustment sums ``sum_c Pr(event | c, t_i, k) Pr(c | w_i,
+    k)`` evaluated in one pass: the inner conditionals for *all* (query,
+    adjustment-cell) pairs come from two tensor lookups and the mixture
+    is a single broadcast multiply-sum.
+
+Tensors are LRU-cached per column set.  Column sets whose dense joint
+domain would exceed ``max_cells`` fall back to sparse mask-based
+evaluation, so the engine stays total on pathological schemas while
+serving the common case at vector speed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.utils.exceptions import EstimationError
+
+
+class _CapacityError(Exception):
+    """Internal: a dense tensor would exceed the cell budget."""
+
+
+def _prod(values) -> int:
+    out = 1
+    for v in values:
+        out *= int(v)
+    return out
+
+
+class ContingencyEngine:
+    """Cached grouped-count tensors with batched probability queries.
+
+    Parameters
+    ----------
+    table:
+        The data table queried against.
+    alpha:
+        Laplace smoothing mass, matching
+        :class:`~repro.estimation.probability.FrequencyEstimator`.
+    max_cells:
+        Densest joint domain (product of cardinalities) materialised as
+        one tensor; larger column sets use sparse mask fallbacks.
+    cache_size:
+        Number of count tensors kept in the LRU cache.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        alpha: float = 0.0,
+        max_cells: int = 1 << 22,
+        cache_size: int = 256,
+    ):
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self._table = table
+        self._alpha = float(alpha)
+        self._n = len(table)
+        self._max_cells = int(max_cells)
+        self._cache_size = int(cache_size)
+        self._cards: dict[str, int] = {}
+        self._tensors: OrderedDict[tuple[str, ...], np.ndarray] = OrderedDict()
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def table(self) -> Table:
+        """The underlying data table."""
+        return self._table
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows backing the counts."""
+        return self._n
+
+    @property
+    def alpha(self) -> float:
+        """Laplace smoothing mass."""
+        return self._alpha
+
+    def _card(self, name: str) -> int:
+        card = self._cards.get(name)
+        if card is None:
+            card = self._table.column(name).cardinality
+            self._cards[name] = card
+        return card
+
+    # -- count tensors -----------------------------------------------------
+
+    def tensor(self, names: Sequence[str]) -> np.ndarray:
+        """Dense count tensor over ``names`` (must be sorted and unique).
+
+        Axis ``i`` indexes the codes of ``names[i]``; the entry at
+        ``(c_0, ..., c_k)`` is the number of rows with that joint code
+        assignment.  Built once per column set via one packed-key
+        ``np.bincount`` pass and LRU-cached.  Raises an internal
+        capacity error when the joint domain exceeds ``max_cells``.
+        """
+        key = tuple(names)
+        cached = self._tensors.get(key)
+        if cached is not None:
+            self._tensors.move_to_end(key)
+            return cached
+        shape = tuple(self._card(n) for n in key)
+        cells = _prod(shape) if key else 1
+        if cells > self._max_cells:
+            raise _CapacityError(f"joint domain of {key!r} has {cells} cells")
+        if not key:
+            tensor = np.full((), self._n, dtype=np.int64)
+        else:
+            packed = np.zeros(self._n, dtype=np.int64)
+            for name in key:
+                packed *= self._card(name)
+                packed += self._table.codes(name)
+            tensor = np.bincount(packed, minlength=cells).reshape(shape)
+        self._tensors[key] = tensor
+        if len(self._tensors) > self._cache_size:
+            self._tensors.popitem(last=False)
+        return tensor
+
+    def _counts_nd(
+        self,
+        fixed: Mapping[str, int],
+        vary_names: Sequence[str] = (),
+        vary_codes: np.ndarray | None = None,
+        free_names: Sequence[str] = (),
+    ) -> np.ndarray:
+        """Counts with scalar, per-query, and marginal axes in one lookup.
+
+        ``fixed`` pins columns to one code for all queries; ``vary_names``
+        columns take per-query codes from row ``i`` of ``vary_codes``;
+        ``free_names`` columns stay as trailing marginal axes (in sorted
+        name order).  Returns shape ``([m,] *free_shape)`` — the leading
+        query axis is present iff ``vary_names`` is non-empty.
+        """
+        fixed = dict(fixed)
+        vary_names = list(vary_names)
+        free_names = sorted(free_names)
+        names = sorted(set(fixed) | set(vary_names) | set(free_names))
+        tensor = self.tensor(names)
+
+        free_set = set(free_names)
+        lead = [i for i, n in enumerate(names) if n not in free_set]
+        trail = [i for i, n in enumerate(names) if n in free_set]
+        view = tensor.transpose(lead + trail)
+        free_shape = tuple(self._card(n) for n in free_names)
+
+        out_shape = ((len(vary_codes),) if vary_names else ()) + free_shape
+        # Out-of-domain fixed codes match no rows at all.
+        for name, code in fixed.items():
+            if not 0 <= int(code) < self._card(name):
+                return np.zeros(out_shape, dtype=np.int64)
+
+        index = []
+        invalid = None
+        for i in lead:
+            name = names[i]
+            if name in fixed:
+                index.append(int(fixed[name]))
+            else:
+                codes = np.asarray(
+                    vary_codes[:, vary_names.index(name)], dtype=np.intp
+                )
+                bad = (codes < 0) | (codes >= self._card(name))
+                if bad.any():
+                    invalid = bad if invalid is None else (invalid | bad)
+                    codes = np.clip(codes, 0, self._card(name) - 1)
+                index.append(codes)
+        result = view[tuple(index)]
+        if vary_names and result.ndim == len(free_shape):
+            # All vary columns were absorbed into ``fixed``-style scalars.
+            result = np.broadcast_to(result, out_shape)
+        if invalid is not None:
+            result = result.copy()
+            result[invalid] = 0
+        return np.asarray(result)
+
+    def _slow_count(self, conditions: Mapping[str, int]) -> int:
+        mask = np.ones(self._n, dtype=bool)
+        for name, code in conditions.items():
+            mask &= self._table.codes(name) == int(code)
+        return int(mask.sum())
+
+    def count(self, conditions: Mapping[str, int]) -> int:
+        """Number of rows matching code-level equality ``conditions``."""
+        conditions = dict(conditions)
+        try:
+            return int(self._counts_nd(conditions))
+        except _CapacityError:
+            return self._slow_count(conditions)
+
+    # -- scalar probability ------------------------------------------------
+
+    def probability(
+        self,
+        event: Mapping[str, int],
+        given: Mapping[str, int] | None = None,
+    ) -> float:
+        """``Pr(event | given)`` with the estimator's exact semantics.
+
+        Conflicting event/condition codes yield 0, events implied by the
+        condition yield 1, Laplace smoothing spreads ``alpha`` over the
+        event's joint domain, and an unsupported condition raises
+        :class:`EstimationError` when no smoothing is enabled.
+        """
+        given = dict(given or {})
+        event = dict(event)
+        for name in set(event) & set(given):
+            if event[name] != given[name]:
+                return 0.0
+        event = {k: v for k, v in event.items() if k not in given}
+        if not event:
+            return 1.0
+        denom = self.count(given)
+        numer = self.count({**given, **event})
+        if self._alpha > 0:
+            cells = _prod(self._card(name) for name in event)
+            return (numer + self._alpha) / (denom + self._alpha * cells)
+        if denom == 0:
+            raise EstimationError(
+                f"no rows satisfy conditioning event {given!r}"
+            )
+        return numer / denom
+
+    # -- batched probabilities ---------------------------------------------
+
+    def probabilities(
+        self,
+        events: Sequence[Mapping[str, int]],
+        givens: Sequence[Mapping[str, int]] | None = None,
+        default: float | None = None,
+    ) -> np.ndarray:
+        """Batched ``Pr(event_i | given_i)`` — one vectorized pass per signature.
+
+        Queries are grouped by their (event-columns, given-columns)
+        signature; each group is answered with two tensor lookups.  When
+        ``default`` is ``None`` an unsupported condition raises
+        :class:`EstimationError` (matching the scalar path); otherwise
+        the offending entries are filled with ``default``.
+        """
+        events = [dict(e) for e in events]
+        if givens is None:
+            givens = [{} for _ in events]
+        else:
+            givens = [dict(g) for g in givens]
+        if len(events) != len(givens):
+            raise ValueError("events and givens must have equal length")
+        out = np.empty(len(events), dtype=float)
+        buckets: dict[tuple, list[int]] = {}
+        for i, (event, given) in enumerate(zip(events, givens)):
+            conflict = any(
+                event[k] != given[k] for k in set(event) & set(given)
+            )
+            if conflict:
+                out[i] = 0.0
+                continue
+            event = {k: v for k, v in event.items() if k not in given}
+            events[i] = event
+            if not event:
+                out[i] = 1.0
+                continue
+            sig = (tuple(sorted(event)), tuple(sorted(given)))
+            buckets.setdefault(sig, []).append(i)
+        for (ecols, gcols), idxs in buckets.items():
+            try:
+                out[idxs] = self._probabilities_group(
+                    ecols, gcols, [events[i] for i in idxs],
+                    [givens[i] for i in idxs], default,
+                )
+            except _CapacityError:
+                for i in idxs:
+                    try:
+                        out[i] = self.probability(events[i], givens[i])
+                    except EstimationError:
+                        if default is None:
+                            raise
+                        out[i] = default
+        return out
+
+    def _probabilities_group(
+        self,
+        ecols: tuple[str, ...],
+        gcols: tuple[str, ...],
+        events: list[dict],
+        givens: list[dict],
+        default: float | None,
+    ) -> np.ndarray:
+        m = len(events)
+        gm = np.array(
+            [[g[c] for c in gcols] for g in givens], dtype=np.int64
+        ).reshape(m, len(gcols))
+        em = np.array(
+            [[e[c] for c in ecols] for e in events], dtype=np.int64
+        ).reshape(m, len(ecols))
+        if gcols:
+            denom = self._counts_nd({}, list(gcols), gm)
+        else:
+            denom = np.full(m, self._n, dtype=np.int64)
+        joint_cols = list(gcols) + list(ecols)
+        numer = self._counts_nd({}, joint_cols, np.concatenate([gm, em], axis=1))
+        if self._alpha > 0:
+            cells = _prod(self._card(c) for c in ecols)
+            return (numer + self._alpha) / (denom + self._alpha * cells)
+        supported = denom > 0
+        if default is None and not supported.all():
+            bad = int(np.argmin(supported))
+            raise EstimationError(
+                f"no rows satisfy conditioning event {givens[bad]!r}"
+            )
+        values = np.full(m, 0.0 if default is None else float(default))
+        np.divide(numer, denom, out=values, where=supported)
+        return values
+
+    # -- grouped weights ---------------------------------------------------
+
+    def group_weights(
+        self,
+        names: Sequence[str],
+        given: Mapping[str, int] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Observed joint distribution of ``names`` among rows matching ``given``.
+
+        Returns ``(combos, weights)``: ``combos`` is a ``(g, len(names))``
+        code matrix in lexicographic order and ``weights`` the matching
+        relative frequencies (summing to 1 over the observed support).
+        Raises :class:`EstimationError` when no row matches ``given``.
+        """
+        names = list(names)
+        given = dict(given or {})
+        free = [n for n in names if n not in given]
+        try:
+            joint = self._counts_nd(given, free_names=free)
+        except _CapacityError:
+            return self._group_weights_slow(names, given)
+        total = int(joint.sum())
+        if total == 0:
+            raise EstimationError(f"no rows satisfy conditioning event {given!r}")
+        if not free:
+            combos = np.array(
+                [[int(given[n]) for n in names]], dtype=np.int64
+            ).reshape(1, len(names))
+            return combos, np.array([1.0])
+        # ``joint`` axes follow sorted(free); realign to the order the
+        # free columns appear in ``names`` so combos match the caller's
+        # column order.
+        sorted_free = sorted(free)
+        joint = joint.transpose([sorted_free.index(n) for n in free])
+        support = np.argwhere(joint > 0)
+        weights = joint[tuple(support.T)] / total
+        if len(free) == len(names):
+            return support.astype(np.int64), weights
+        combos = np.empty((len(support), len(names)), dtype=np.int64)
+        free_pos = 0
+        for j, name in enumerate(names):
+            if name in given:
+                combos[:, j] = int(given[name])
+            else:
+                combos[:, j] = support[:, free_pos]
+                free_pos += 1
+        return combos, weights
+
+    def _group_weights_slow(
+        self, names: list[str], given: dict
+    ) -> tuple[np.ndarray, np.ndarray]:
+        mask = np.ones(self._n, dtype=bool)
+        for name, code in given.items():
+            mask &= self._table.codes(name) == int(code)
+        total = int(mask.sum())
+        if total == 0:
+            raise EstimationError(f"no rows satisfy conditioning event {given!r}")
+        matrix = self._table.codes_matrix(names)[mask]
+        uniques, counts = np.unique(matrix, axis=0, return_counts=True)
+        return uniques.astype(np.int64), counts / total
+
+    # -- batched adjustment sums -------------------------------------------
+
+    def adjusted_probabilities(
+        self,
+        event: Mapping[str, int],
+        treatments: Sequence[Mapping[str, int]],
+        adjustment: Sequence[str],
+        weight_conditions: Sequence[Mapping[str, int]] | None = None,
+        context: Mapping[str, int] | None = None,
+    ) -> np.ndarray:
+        """Batched backdoor sums ``sum_c Pr(event | c, t_i, k) Pr(c | w_i, k)``.
+
+        One vectorized pass answers all ``len(treatments)`` queries: the
+        adjustment cells become trailing tensor axes, so the inner
+        conditionals of every (query, cell) pair come from two fancy-index
+        lookups and the mixture is a broadcast multiply-sum.  Semantics
+        match :func:`repro.estimation.adjustment.adjusted_probability`
+        per query, including the fall-back to the unadjusted conditional
+        on unsupported cells.
+        """
+        event = dict(event)
+        treatments = [dict(t) for t in treatments]
+        m = len(treatments)
+        if weight_conditions is None:
+            weight_conditions = [{} for _ in range(m)]
+        else:
+            weight_conditions = [dict(w) for w in weight_conditions]
+        if len(weight_conditions) != m:
+            raise ValueError("weight_conditions must match treatments in length")
+        if m == 0:
+            return np.zeros(0)
+        context = dict(context or {})
+        adjustment = [a for a in adjustment if a not in context]
+        if not adjustment:
+            return self.probabilities(
+                [event] * m, [{**t, **context} for t in treatments]
+            )
+        tcols = tuple(sorted(treatments[0]))
+        wcols = tuple(sorted(weight_conditions[0]))
+        homogeneous = all(
+            tuple(sorted(t)) == tcols for t in treatments
+        ) and all(tuple(sorted(w)) == wcols for w in weight_conditions)
+        # Columns shared between the adjustment set and the treatment /
+        # weight conditions pin cells the tensor path would marginalise
+        # over; those (rare) queries take the sparse scalar loop instead.
+        overlap = (set(adjustment) & (set(tcols) | set(wcols) | set(event))) or (
+            set(event) & (set(tcols) | set(wcols) | set(context))
+        )
+        if homogeneous and not overlap:
+            try:
+                return self._adjusted_vectorized(
+                    event, treatments, tcols, weight_conditions, wcols,
+                    adjustment, context,
+                )
+            except _CapacityError:
+                pass
+        return np.array(
+            [
+                self._adjusted_scalar(event, t, adjustment, w, context)
+                for t, w in zip(treatments, weight_conditions)
+            ]
+        )
+
+    def _adjusted_vectorized(
+        self,
+        event: dict,
+        treatments: list[dict],
+        tcols: tuple[str, ...],
+        weight_conditions: list[dict],
+        wcols: tuple[str, ...],
+        adjustment: list[str],
+        context: dict,
+    ) -> np.ndarray:
+        free = sorted(set(adjustment))
+        k_free = len(free)
+        m = len(treatments)
+        # Context codes win over treatment/weight codes on shared columns,
+        # matching the scalar merge order ``{**treatment, **context}``.
+        tvary = [c for c in tcols if c not in context]
+        wvary = [c for c in wcols if c not in context]
+
+        def lift(array: np.ndarray) -> np.ndarray:
+            """Ensure a leading query axis (length 1 when shared)."""
+            return array if array.ndim == k_free + 1 else array[None]
+
+        if wvary:
+            wm = np.array(
+                [[w[c] for c in wvary] for w in weight_conditions],
+                dtype=np.int64,
+            )
+            wjoint = lift(self._counts_nd(context, wvary, wm, free))
+        else:
+            wjoint = lift(self._counts_nd(context, free_names=free))
+        wtot = wjoint.reshape(wjoint.shape[0], -1).sum(axis=1)
+        if np.any(wtot == 0):
+            bad = int(np.argmax(wtot == 0)) if wvary else 0
+            merged = {**weight_conditions[bad], **context}
+            raise EstimationError(
+                f"no rows satisfy conditioning event {merged!r}"
+            )
+        weights = wjoint / wtot.reshape((-1,) + (1,) * k_free)
+
+        if tvary:
+            tm = np.array(
+                [[t[c] for c in tvary] for t in treatments], dtype=np.int64
+            )
+            denom = lift(self._counts_nd(context, tvary, tm, free))
+            numer = lift(
+                self._counts_nd({**context, **event}, tvary, tm, free)
+            )
+        else:
+            denom = lift(self._counts_nd(context, free_names=free))
+            numer = lift(self._counts_nd({**context, **event}, free_names=free))
+
+        if self._alpha > 0:
+            cells = _prod(self._card(name) for name in event)
+            inner = (numer + self._alpha) / (denom + self._alpha * cells)
+        else:
+            supported = denom > 0
+            if supported.all():
+                inner = np.zeros(denom.shape)
+            else:
+                # Unsupported (c, t, k) cells fall back to the unadjusted
+                # conditional so the mixture stays a probability.
+                fallback = self.probabilities(
+                    [event] * m,
+                    [{**t, **context} for t in treatments],
+                    default=0.0,
+                )
+                if denom.shape[0] == 1:
+                    fallback = fallback[:1]
+                inner = np.broadcast_to(
+                    fallback.reshape((-1,) + (1,) * k_free), denom.shape
+                ).copy()
+            np.divide(numer, denom, out=inner, where=supported)
+
+        mixed = weights * inner
+        totals = mixed.reshape(mixed.shape[0], -1).sum(axis=1)
+        if totals.shape[0] == 1 and m > 1:
+            totals = np.broadcast_to(totals, (m,))
+        return np.array(totals, dtype=float)
+
+    def _adjusted_scalar(
+        self,
+        event: dict,
+        treatment: dict,
+        adjustment: list[str],
+        weight_condition: dict,
+        context: dict,
+    ) -> float:
+        """Sparse per-query fall-back mirroring the historical scalar loop."""
+        combos, weights = self.group_weights(
+            list(adjustment), {**weight_condition, **context}
+        )
+        total = 0.0
+        fallback = None
+        for combo, weight in zip(combos, weights):
+            cond = {a: int(c) for a, c in zip(adjustment, combo)}
+            cond.update(treatment)
+            cond.update(context)
+            try:
+                inner = self.probability(event, cond)
+            except EstimationError:
+                if fallback is None:
+                    try:
+                        fallback = self.probability(
+                            event, {**treatment, **context}
+                        )
+                    except EstimationError:
+                        fallback = 0.0
+                inner = fallback
+            total += float(weight) * inner
+        return total

@@ -6,6 +6,13 @@ estimator here works on *code-level* conditions (``{column: code}``)
 because the score layer manipulates codes; a label-level convenience
 wrapper is provided for user-facing call sites.
 
+Since the vectorized refactor, :class:`FrequencyEstimator` is a thin
+scalar facade over :class:`~repro.estimation.engine.ContingencyEngine`:
+every query is answered from cached grouped count tensors instead of
+per-query boolean-mask scans, and batch-oriented callers can reach the
+engine directly through :attr:`FrequencyEstimator.engine` to answer N
+queries per vectorized pass.
+
 Laplace smoothing is available to keep estimates defined on sparse
 conditioning events; the default ``alpha=0`` reproduces raw frequencies
 (what the paper's estimators use) and callers fall back explicitly when a
@@ -14,16 +21,20 @@ condition has no support.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Mapping
 
 import numpy as np
 
 from repro.data.table import Table
-from repro.utils.exceptions import EstimationError
+from repro.estimation.engine import ContingencyEngine
 
 
 class FrequencyEstimator:
     """Conditional frequency estimation with optional Laplace smoothing."""
+
+    #: maximum number of boolean masks kept by :meth:`_mask` (LRU-evicted).
+    MASK_CACHE_SIZE = 4096
 
     def __init__(self, table: Table, alpha: float = 0.0):
         if alpha < 0:
@@ -31,7 +42,9 @@ class FrequencyEstimator:
         self._table = table
         self._alpha = float(alpha)
         self._n = len(table)
-        self._mask_cache: dict[tuple, np.ndarray] = {}
+        self._engine = ContingencyEngine(table, alpha=alpha)
+        self._mask_cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._trivial_mask: np.ndarray | None = None
 
     @property
     def table(self) -> Table:
@@ -43,24 +56,48 @@ class FrequencyEstimator:
         """Number of rows backing the estimates."""
         return self._n
 
+    @property
+    def engine(self) -> ContingencyEngine:
+        """The vectorized contingency engine answering all queries.
+
+        Batch-oriented callers (``ScoreEstimator.scores_batch``, the
+        batched adjustment sums) use this directly to evaluate many
+        related queries per pass.
+        """
+        return self._engine
+
     # -- masks -----------------------------------------------------------
 
     def _mask(self, conditions: Mapping[str, int]) -> np.ndarray:
-        """Boolean mask of rows matching code-level equality conditions."""
+        """Boolean mask of rows matching code-level equality conditions.
+
+        Retained for callers that need explicit row masks; probability
+        queries themselves are served from the engine's count tensors.
+        The unconditioned (trivial) mask is built once and reused, and
+        the cache evicts least-recently-used entries beyond
+        :attr:`MASK_CACHE_SIZE` so long-running batch workloads don't pin
+        stale masks.
+        """
+        if not conditions:
+            if self._trivial_mask is None:
+                self._trivial_mask = np.ones(self._n, dtype=bool)
+            return self._trivial_mask
         key = tuple(sorted(conditions.items()))
         cached = self._mask_cache.get(key)
         if cached is not None:
+            self._mask_cache.move_to_end(key)
             return cached
         mask = np.ones(self._n, dtype=bool)
         for name, code in conditions.items():
             mask &= self._table.codes(name) == int(code)
-        if len(self._mask_cache) < 4096:
-            self._mask_cache[key] = mask
+        self._mask_cache[key] = mask
+        if len(self._mask_cache) > self.MASK_CACHE_SIZE:
+            self._mask_cache.popitem(last=False)
         return mask
 
     def count(self, conditions: Mapping[str, int]) -> int:
         """Number of rows matching the conditions."""
-        return int(self._mask(conditions).sum())
+        return self._engine.count(conditions)
 
     # -- probabilities ------------------------------------------------------
 
@@ -74,30 +111,7 @@ class FrequencyEstimator:
         Raises :class:`EstimationError` when the conditioning event has no
         support and no smoothing is enabled.
         """
-        given = given or {}
-        overlap = set(event) & set(given)
-        for name in overlap:
-            if event[name] != given[name]:
-                return 0.0
-        event = {k: v for k, v in event.items() if k not in given}
-        if not event:
-            return 1.0
-        denom_mask = self._mask(given) if given else np.ones(self._n, dtype=bool)
-        denom = int(denom_mask.sum())
-        joint = {**given, **event}
-        numer = int((self._mask(joint)).sum())
-        # Smoothing spreads `alpha` pseudo-counts over the joint domain of
-        # the event columns.
-        if self._alpha > 0:
-            cells = 1
-            for name in event:
-                cells *= len(self._table.domain(name))
-            return (numer + self._alpha) / (denom + self._alpha * cells)
-        if denom == 0:
-            raise EstimationError(
-                f"no rows satisfy conditioning event {given!r}"
-            )
-        return numer / denom
+        return self._engine.probability(event, given)
 
     def probability_or_default(
         self,
@@ -106,10 +120,9 @@ class FrequencyEstimator:
         default: float = 0.0,
     ) -> float:
         """Like :meth:`probability` but returns ``default`` on no support."""
-        try:
-            return self.probability(event, given)
-        except EstimationError:
-            return default
+        return float(
+            self._engine.probabilities([event], [given or {}], default=default)[0]
+        )
 
     # -- label-level convenience ------------------------------------------------
 
@@ -139,13 +152,8 @@ class FrequencyEstimator:
 
         Returns ``{(codes...): probability}`` over the *observed* support.
         """
-        mask = self._mask(given) if given else np.ones(self._n, dtype=bool)
-        total = int(mask.sum())
-        if total == 0:
-            raise EstimationError(f"no rows satisfy conditioning event {given!r}")
-        matrix = self._table.codes_matrix(names)[mask]
-        uniques, counts = np.unique(matrix, axis=0, return_counts=True)
+        combos, weights = self._engine.group_weights(names, given)
         return {
-            tuple(int(c) for c in combo): int(count) / total
-            for combo, count in zip(uniques, counts)
+            tuple(int(c) for c in combo): float(weight)
+            for combo, weight in zip(combos, weights)
         }

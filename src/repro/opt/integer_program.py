@@ -6,8 +6,8 @@ A named-variable convenience layer over the matrix form
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Hashable, Mapping
 
 import numpy as np
 

@@ -12,7 +12,7 @@ directly, ignores causal structure entirely, and — as the paper observes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -23,7 +23,6 @@ from repro.estimation.logit import logit
 from repro.models.linear import LogisticRegression
 from repro.opt.branch_and_bound import solve_binary_program
 from repro.opt.integer_program import IntegerProgram
-from repro.utils.exceptions import RecourseInfeasibleError
 from repro.utils.validation import check_probability
 
 

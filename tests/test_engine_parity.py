@@ -1,0 +1,278 @@
+"""Property tests: batched engine queries equal the scalar path exactly.
+
+The vectorized :class:`ContingencyEngine` powers `scores_batch`,
+`adjusted_probabilities`, `bounds_batch` and the batched global
+explanation builder.  Across random tables, causal diagrams and contexts
+every batched result must agree with the looped scalar computation to
+within 1e-12 (they share the same integer counts, so in practice the
+difference is a few ulps of summation reordering at most).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.causal.graph import CausalDiagram
+from repro.core.bounds import BoundsEstimator
+from repro.core.explanations import build_global_explanation
+from repro.core.scores import ScoreEstimator
+from repro.data.table import Table
+from repro.estimation.adjustment import adjusted_probabilities, adjusted_probability
+from repro.estimation.probability import FrequencyEstimator
+
+TOL = 1e-12
+
+NAMES = ("W", "X", "Y", "Z")
+
+DIAGRAMS = (
+    None,
+    CausalDiagram([("W", "X"), ("W", "Y"), ("X", "Y")], nodes=NAMES),
+    CausalDiagram([("Z", "X"), ("Z", "W"), ("X", "W")], nodes=NAMES),
+    CausalDiagram([("W", "X"), ("X", "Y"), ("Y", "Z")], nodes=NAMES),
+)
+
+
+def make_table(seed: int, n_rows: int, cards: tuple[int, ...]) -> Table:
+    rng = np.random.default_rng(seed)
+    codes = {
+        name: rng.integers(0, card, size=n_rows)
+        for name, card in zip(NAMES, cards)
+    }
+    domains = {name: list(range(card)) for name, card in zip(NAMES, cards)}
+    return Table.from_codes(codes, domains)
+
+
+def make_estimator(
+    seed: int, n_rows: int, cards: tuple[int, ...], diagram_index: int
+) -> ScoreEstimator:
+    table = make_table(seed, n_rows, cards)
+    rng = np.random.default_rng(seed + 1)
+    weights = rng.normal(size=len(NAMES))
+    score = sum(w * table.codes(n) for w, n in zip(weights, NAMES))
+    positive = score >= np.median(score)
+    return ScoreEstimator(table, positive, diagram=DIAGRAMS[diagram_index])
+
+
+scenario = st.tuples(
+    st.integers(min_value=0, max_value=10_000),  # seed
+    st.integers(min_value=20, max_value=150),  # rows
+    st.tuples(*[st.integers(min_value=2, max_value=4) for _ in NAMES]),  # cards
+    st.integers(min_value=0, max_value=len(DIAGRAMS) - 1),  # diagram
+    st.integers(min_value=0, max_value=2),  # context size
+)
+
+
+def draw_context(seed: int, cards: tuple[int, ...], size: int) -> dict[str, int]:
+    """A context over the trailing attributes, guaranteed in-domain."""
+    rng = np.random.default_rng(seed + 7)
+    names = list(NAMES[-size:]) if size else []
+    return {n: int(rng.integers(0, cards[NAMES.index(n)])) for n in names}
+
+
+def all_pairs(card: int) -> list[tuple[int, int]]:
+    return [(hi, lo) for hi in range(card) for lo in range(hi)]
+
+
+@given(scenario)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_scores_batch_equals_scalar_loop(params):
+    seed, n_rows, cards, diagram_index, context_size = params
+    estimator = make_estimator(seed, n_rows, cards, diagram_index)
+    context = draw_context(seed, cards, context_size)
+    contrasts = []
+    for name in NAMES:
+        if name in context:
+            continue
+        for hi, lo in all_pairs(cards[NAMES.index(name)]):
+            contrasts.append(({name: hi}, {name: lo}))
+    # A joint (multi-attribute) contrast exercises the grouped dispatch.
+    free = [n for n in NAMES if n not in context]
+    if len(free) >= 2 and cards[NAMES.index(free[0])] > 1 and cards[NAMES.index(free[1])] > 1:
+        contrasts.append(
+            (
+                {free[0]: 1, free[1]: 1},
+                {free[0]: 0, free[1]: 0},
+            )
+        )
+    try:
+        batched = estimator.scores_batch(contrasts, context)
+    except Exception as exc:  # scalar loop must fail identically
+        with pytest.raises(type(exc)):
+            for treatment, baseline in contrasts:
+                estimator.scores(treatment, baseline, context)
+        return
+    for (treatment, baseline), triple in zip(contrasts, batched):
+        scalar = estimator.scores(treatment, baseline, context)
+        assert abs(triple.necessity - scalar.necessity) <= TOL
+        assert abs(triple.sufficiency - scalar.sufficiency) <= TOL
+        assert (
+            abs(triple.necessity_sufficiency - scalar.necessity_sufficiency)
+            <= TOL
+        )
+
+
+@given(scenario)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_adjusted_probabilities_equal_scalar(params):
+    seed, n_rows, cards, _diagram_index, context_size = params
+    table = make_table(seed, n_rows, cards)
+    estimator = FrequencyEstimator(table)
+    context = draw_context(seed, cards, context_size)
+    adjustment = [n for n in ("Y", "Z") if n not in context]
+    treatments = [{"X": code} for code in range(cards[1])]
+    weight_conditions = [{"W": code % cards[0]} for code in range(cards[1])]
+    event = {"W": 0}
+    try:
+        batch = adjusted_probabilities(
+            estimator, event, treatments, adjustment, weight_conditions, context
+        )
+    except Exception as exc:
+        with pytest.raises(type(exc)):
+            for treatment, weight in zip(treatments, weight_conditions):
+                adjusted_probability(
+                    estimator, event, treatment, adjustment, weight, context
+                )
+        return
+    for value, treatment, weight in zip(batch, treatments, weight_conditions):
+        scalar = adjusted_probability(
+            estimator, event, treatment, adjustment, weight, context
+        )
+        assert abs(float(value) - scalar) <= TOL
+
+
+@given(scenario)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_probabilities_batch_equals_scalar(params):
+    seed, n_rows, cards, _diagram_index, _context_size = params
+    table = make_table(seed, n_rows, cards)
+    estimator = FrequencyEstimator(table)
+    engine = estimator.engine
+    events, givens = [], []
+    for x in range(cards[1]):
+        events.append({"W": x % cards[0]})
+        givens.append({"X": x})
+        events.append({"W": 0, "Y": 0})
+        givens.append({"X": x, "Z": 0})
+        events.append({"X": x})  # overlaps its own condition
+        givens.append({"X": x})
+        events.append({})
+        givens.append({"X": x})
+    batch = engine.probabilities(events, givens, default=0.25)
+    for value, event, given in zip(batch, events, givens):
+        scalar = estimator.probability_or_default(event, given, default=0.25)
+        assert abs(float(value) - scalar) <= TOL
+
+
+@given(scenario)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_bounds_batch_equals_scalar(params):
+    seed, n_rows, cards, diagram_index, context_size = params
+    estimator = make_estimator(seed, n_rows, cards, diagram_index)
+    context = draw_context(seed, cards, context_size)
+    bounds = BoundsEstimator(estimator)
+    contrasts = []
+    for name in NAMES:
+        if name in context:
+            continue
+        for hi, lo in all_pairs(cards[NAMES.index(name)]):
+            contrasts.append(({name: hi}, {name: lo}))
+    try:
+        batch = bounds.bounds_batch(contrasts, context)
+    except Exception as exc:
+        with pytest.raises(type(exc)):
+            for treatment, baseline in contrasts:
+                bounds.bounds(treatment, baseline, context)
+        return
+    for (treatment, baseline), got in zip(contrasts, batch):
+        # The scalar path routes through bounds_batch with one contrast;
+        # equality must hold to the last bit.
+        one = bounds.bounds_batch([(treatment, baseline)], context)[0]
+        for kind in ("necessity", "sufficiency", "necessity_sufficiency"):
+            lo_a, hi_a = getattr(got, kind)
+            lo_b, hi_b = getattr(one, kind)
+            assert abs(lo_a - lo_b) <= TOL
+            assert abs(hi_a - hi_b) <= TOL
+
+
+@given(scenario)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_global_explanation_batched_equals_scalar(params):
+    seed, n_rows, cards, diagram_index, context_size = params
+    estimator = make_estimator(seed, n_rows, cards, diagram_index)
+    context = draw_context(seed, cards, context_size)
+    kwargs = dict(
+        context=context or None, max_pairs_per_attribute=4
+    )
+    try:
+        fast = build_global_explanation(estimator, NAMES, batched=True, **kwargs)
+    except Exception as exc:
+        with pytest.raises(type(exc)):
+            build_global_explanation(estimator, NAMES, batched=False, **kwargs)
+        return
+    slow = build_global_explanation(estimator, NAMES, batched=False, **kwargs)
+    assert len(fast.attribute_scores) == len(slow.attribute_scores)
+    for a, b in zip(fast.attribute_scores, slow.attribute_scores):
+        assert a.attribute == b.attribute
+        assert abs(a.necessity - b.necessity) <= TOL
+        assert abs(a.sufficiency - b.sufficiency) <= TOL
+        assert abs(a.necessity_sufficiency - b.necessity_sufficiency) <= TOL
+        assert a.best_pair_necessity == b.best_pair_necessity
+        assert a.best_pair_sufficiency == b.best_pair_sufficiency
+        assert a.best_pair_nesuf == b.best_pair_nesuf
+
+
+def test_weight_condition_overlapping_adjustment_matches_scalar():
+    """A weight condition pinning an adjustment column must not be dropped.
+
+    Regression: the vectorized path must defer to the sparse loop when
+    ``weight_conditions`` intersects the adjustment set, otherwise the
+    mixing weights marginalise over the pinned column.
+    """
+    table = make_table(11, 300, (2, 3, 3, 2))
+    estimator = FrequencyEstimator(table)
+    batch = adjusted_probabilities(
+        estimator,
+        {"W": 1},
+        [{"X": 1}, {"X": 2}],
+        adjustment=["Y", "Z"],
+        weight_conditions=[{"Z": 0}, {"Z": 1}],
+    )
+    for value, treatment, weight in zip(batch, [{"X": 1}, {"X": 2}], [{"Z": 0}, {"Z": 1}]):
+        # The scalar reference: weights grouped over (Y, Z) *given* the pin.
+        weights = estimator.group_probabilities(["Y", "Z"], weight)
+        expected = 0.0
+        for (y, z), w in weights.items():
+            inner = estimator.probability_or_default(
+                {"W": 1}, {"Y": y, "Z": z, "X": treatment["X"]},
+                default=estimator.probability_or_default({"W": 1}, treatment, 0.0),
+            )
+            expected += w * inner
+        assert abs(float(value) - expected) <= TOL
+
+
+def test_group_probabilities_matches_mask_computation():
+    """The tensor-backed grouped weights equal the historical mask+unique path."""
+    table = make_table(3, 200, (2, 3, 4, 2))
+    estimator = FrequencyEstimator(table)
+    mask = (table.codes("X") == 1) & (table.codes("Z") == 0)
+    matrix = table.codes_matrix(["Y", "W"])[mask]
+    uniques, counts = np.unique(matrix, axis=0, return_counts=True)
+    expected = {
+        tuple(int(c) for c in combo): int(count) / int(mask.sum())
+        for combo, count in zip(uniques, counts)
+    }
+    got = estimator.group_probabilities(["Y", "W"], {"X": 1, "Z": 0})
+    assert got.keys() == expected.keys()
+    for key, val in expected.items():
+        assert got[key] == pytest.approx(val, abs=TOL)
+
+
+def test_out_of_domain_codes_count_zero():
+    """Codes outside a column's domain match no rows (not an index error)."""
+    table = make_table(5, 60, (2, 2, 3, 2))
+    estimator = FrequencyEstimator(table)
+    assert estimator.count({"X": 99}) == 0
+    assert estimator.probability_or_default({"W": 1}, {"X": 99}, default=0.5) == 0.5

@@ -109,17 +109,26 @@ class TestStatementEdgeCases:
 
 
 class TestFrequencyEstimatorLimits:
-    def test_cache_does_not_grow_unbounded(self):
+    def test_mask_cache_is_lru_bounded(self):
         rng = np.random.default_rng(2)
         table = Table(
             [Column.from_codes("x", rng.integers(0, 50, 500), tuple(range(50)))]
         )
         est = FrequencyEstimator(table)
+        est.MASK_CACHE_SIZE = 16
         # Hammer the cache with more keys than its limit.
         for code in range(50):
-            for code2 in range(50):
-                est.probability_or_default({"x": code}, {"x": code2})
-        assert len(est._mask_cache) <= 4096
+            est._mask({"x": code})
+        assert len(est._mask_cache) <= 16
+        # Least-recently-used keys were evicted, recent ones kept.
+        assert (("x", 49),) in est._mask_cache
+        assert (("x", 0),) not in est._mask_cache
+
+    def test_trivial_mask_is_cached(self, small_table):
+        est = FrequencyEstimator(small_table)
+        first = est._mask({})
+        assert first.all() and len(first) == len(small_table)
+        assert est._mask({}) is first
 
     def test_n_rows_property(self, small_table):
         assert FrequencyEstimator(small_table).n_rows == 8
