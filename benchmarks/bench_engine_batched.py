@@ -13,7 +13,7 @@ import pytest
 
 from repro.core.explanations import SCORE_KEYS, build_global_explanation
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import write_json, write_report
 
 DATASETS = ["german", "adult"]
 
@@ -26,6 +26,7 @@ def _record(dataset: str, kind: str, seconds: float) -> None:
         "Engine batching - explain_global(max_pairs_per_attribute=6) seconds",
         f"{'dataset':12s} {'scalar':>9s} {'batched':>9s} {'speedup':>8s}",
     ]
+    payload: dict[str, dict] = {}
     for name in DATASETS:
         row = _rows.get(name, {})
         scalar = row.get("scalar", float("nan"))
@@ -34,7 +35,21 @@ def _record(dataset: str, kind: str, seconds: float) -> None:
         lines.append(
             f"{name:12s} {scalar:9.4f} {batched:9.4f} {speedup:7.1f}x"
         )
+        if row:
+            payload[name] = {
+                "scalar_s": round(scalar, 6) if scalar == scalar else None,
+                "batched_s": round(batched, 6) if batched == batched else None,
+                "speedup": round(speedup, 2) if speedup == speedup else None,
+            }
     write_report("engine_batched", lines)
+    write_json(
+        "engine_batched",
+        {
+            "benchmark": "engine_batched",
+            "operation": "explain_global(max_pairs_per_attribute=6)",
+            "datasets": payload,
+        },
+    )
 
 
 @pytest.mark.parametrize("dataset", DATASETS)

@@ -44,6 +44,20 @@ def write_report(name: str, lines: list[str]) -> None:
     path.write_text("\n".join(lines) + "\n")
 
 
+def write_json(name: str, payload: dict) -> None:
+    """Persist machine-readable results under benchmarks/results/<name>.json.
+
+    The JSON mirror of :func:`write_report` — per-op wall times and
+    speedups in a stable schema, so the perf trajectory is diffable
+    across PRs instead of locked in formatted text.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def format_scores_block(title: str, explanation) -> list[str]:
     """Render a GlobalExplanation the way the paper's bar charts read."""
     lines = [title, f"{'attribute':16s} {'NEC':>6s} {'SUF':>6s} {'NESUF':>6s}"]

@@ -57,8 +57,9 @@ from repro.data import (
 )
 from repro.estimation import ContingencyEngine, FrequencyEstimator
 from repro.models import TableModel, fit_table_model
+from repro.service import ExplainerSession, ResultCache, TableDelta
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CausalDiagram",
@@ -78,7 +79,10 @@ __all__ = [
     "Column",
     "ContingencyEngine",
     "DatasetBundle",
+    "ExplainerSession",
     "FrequencyEstimator",
+    "ResultCache",
+    "TableDelta",
     "Table",
     "available_datasets",
     "load_dataset",

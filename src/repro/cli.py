@@ -1,11 +1,12 @@
 """Command-line interface: ``python -m repro.cli <command> ...``.
 
-Four subcommands mirror the library's main entry points:
+Five subcommands mirror the library's main entry points:
 
 * ``explain``  — global or contextual explanation on a dataset,
 * ``local``    — local explanation for one row,
 * ``recourse`` — minimal-cost recourse for one row,
-* ``audit``    — counterfactual-fairness audit of protected attributes.
+* ``audit``    — counterfactual-fairness audit of protected attributes,
+* ``serve``    — start the JSON-over-HTTP explanation service.
 
 All commands train a black box on a fresh replica of the chosen dataset;
 results print as plain-text charts (see :mod:`repro.report`).
@@ -17,7 +18,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro import Lewis, fit_table_model, load_dataset, train_test_split
+from repro import Lewis, __version__, fit_table_model, load_dataset, train_test_split
 from repro.core.fairness import FairnessAuditor
 from repro.data.registry import available_datasets
 from repro.models.pipeline import MODEL_KINDS
@@ -26,6 +27,7 @@ from repro.report import (
     render_local,
     render_recourse,
     render_scores_table,
+    render_service_stats,
 )
 from repro.utils.exceptions import RecourseInfeasibleError
 
@@ -129,10 +131,31 @@ def cmd_audit(args) -> int:
     return 0 if failures == 0 else 3
 
 
+def cmd_serve(args) -> int:
+    from repro.service import ExplainerSession, ResultCache
+    from repro.service.server import serve
+
+    bundle, _model, lewis = _build_explainer(args)
+    session = ExplainerSession(
+        lewis,
+        cache=ResultCache(max_bytes=int(args.cache_mb * (1 << 20))),
+        default_actionable=bundle.actionable,
+        background=True,
+    )
+    try:
+        serve(session, host=args.host, port=args.port, verbose=args.verbose)
+    finally:
+        print(render_service_stats(session.stats(), title="session statistics"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="LEWIS: probabilistic contrastive counterfactual explanations",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -179,6 +202,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_audit.add_argument("--protected", nargs="*", default=None)
     p_audit.add_argument("--tolerance", type=float, default=0.05)
     p_audit.set_defaults(func=cmd_audit)
+
+    p_serve = sub.add_parser(
+        "serve", help="start the JSON-over-HTTP explanation service"
+    )
+    common(p_serve)
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: loopback)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8321,
+        help="listen port; 0 picks a free port (default: 8321)",
+    )
+    p_serve.add_argument(
+        "--cache-mb",
+        type=float,
+        default=32.0,
+        help="result-cache budget in megabytes (default: 32)",
+    )
+    p_serve.add_argument(
+        "--verbose", action="store_true", help="log each HTTP request to stderr"
+    )
+    p_serve.set_defaults(func=cmd_serve)
     return parser
 
 

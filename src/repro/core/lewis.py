@@ -184,6 +184,56 @@ class Lewis:
         """Population-level rate of positive decisions."""
         return float(self._positive.mean())
 
+    # -- incremental data updates ------------------------------------------
+
+    @property
+    def table_version(self) -> int:
+        """Data-version token, bumped by every non-empty :meth:`apply_delta`."""
+        return self.estimator.engine.version
+
+    def apply_delta(
+        self,
+        inserted_rows: Sequence[Mapping[str, Any]] | Table | None = None,
+        deleted_rows: Sequence[int] | np.ndarray | None = None,
+    ) -> int:
+        """Update the explained population in place, without a rebuild.
+
+        ``inserted_rows`` are decoded ``{attribute: label}`` mappings (or
+        a feature :class:`Table` in this explainer's domain layout);
+        labels must come from the existing domains — a delta can never
+        extend a category set.  ``deleted_rows`` are indices into
+        :attr:`data`; deletions apply first, then insertions append.
+
+        The black box is invoked only on the inserted rows; cached
+        contingency tensors are maintained incrementally via
+        :meth:`ContingencyEngine.apply_delta`; recourse solvers and local
+        regression models (data-dependent) are dropped for lazy refit.
+        Returns the new :attr:`table_version`.
+        """
+        if inserted_rows is not None and not isinstance(inserted_rows, Table):
+            rows = list(inserted_rows)
+            if rows:
+                encoded = self.data.encode_rows(rows)
+                inserted_rows = Table(
+                    self.data.column(name).replaced(encoded[name])
+                    for name in self.data.names
+                )
+            else:
+                inserted_rows = None
+        n_ins = len(inserted_rows) if inserted_rows is not None else 0
+        inserted_positive = (
+            np.asarray(self.predict_positive(inserted_rows), dtype=bool)
+            if n_ins
+            else None
+        )
+        version = self.estimator.apply_delta(
+            inserted_rows if n_ins else None, inserted_positive, deleted_rows
+        )
+        self.data = self.estimator._features
+        self._positive = self.estimator._positive
+        self._recourse_solvers.clear()
+        return version
+
     # -- raw score access ---------------------------------------------------------
 
     def _encode_context(self, context: Mapping[str, Any]) -> dict[str, int]:

@@ -129,6 +129,44 @@ class ScoreEstimator:
         """The background causal diagram, if any."""
         return self._diagram
 
+    def apply_delta(
+        self,
+        inserted_features: Table | None = None,
+        inserted_positive: np.ndarray | None = None,
+        deleted_rows: Sequence[int] | np.ndarray | None = None,
+    ) -> int:
+        """Fold a row delta into the estimator's table and engine state.
+
+        ``inserted_features`` is a feature-schema :class:`Table` slice and
+        ``inserted_positive`` the black box's positive-decision vector for
+        those rows (the caller runs the model; this layer never predicts).
+        ``deleted_rows`` are indices into the current population.
+        Deletions apply first, then insertions append.  The contingency
+        engine is maintained incrementally; the per-attribute local
+        regression models are dropped (they are data-dependent and
+        lazily refit on next use).  Returns the new data version.
+        """
+        n_ins = len(inserted_features) if inserted_features is not None else 0
+        if n_ins:
+            if inserted_positive is None or len(inserted_positive) != n_ins:
+                raise ValueError(
+                    "inserted_positive must align with inserted_features"
+                )
+            outcome = Column.from_codes(
+                self._outcome,
+                np.asarray(inserted_positive, dtype=bool).astype(np.int64),
+                (False, True),
+            )
+            inserted_full = inserted_features.with_column(outcome)
+        else:
+            inserted_full = None
+        version = self._freq.apply_delta(inserted_full, deleted_rows)
+        self._table = self._freq.table
+        self._features = self._table.drop([self._outcome])
+        self._positive = self._table.codes(self._outcome).astype(bool)
+        self._local_models.clear()
+        return version
+
     def positive_rate(self, conditions: Mapping[str, int] | None = None) -> float:
         """``Pr(o | conditions)`` over the population."""
         return self._freq.probability_or_default(

@@ -329,6 +329,64 @@ class Table:
         cols[column.name] = column
         return Table(cols.values())
 
+    # -- delta hooks (incremental serving) -----------------------------------
+
+    def encode_rows(
+        self, rows: Sequence[Mapping[str, Any]]
+    ) -> dict[str, np.ndarray]:
+        """Translate label-level ``rows`` into full-schema code arrays.
+
+        Every row must assign every column; values outside a column's
+        domain raise :class:`DomainError`. This is the validation step in
+        front of :meth:`append_rows` and the engine's ``apply_delta``.
+        """
+        rows = list(rows)
+        out: dict[str, np.ndarray] = {}
+        for name, col in self._columns.items():
+            codes = np.empty(len(rows), dtype=np.int64)
+            for i, row in enumerate(rows):
+                if name not in row:
+                    raise DomainError(
+                        f"row {i} is missing column {name!r}; "
+                        f"rows must cover the full schema {self.names}"
+                    )
+                codes[i] = col.code_of(row[name])
+            out[name] = codes
+        return out
+
+    def append_rows(self, rows: Sequence[Mapping[str, Any]]) -> "Table":
+        """Return a table with decoded ``rows`` appended (same domains)."""
+        encoded = self.encode_rows(rows)
+        return Table(
+            col.replaced(np.concatenate([col.codes, encoded[name]]))
+            for name, col in self._columns.items()
+        )
+
+    def delete_rows(self, indices: Sequence[int] | np.ndarray) -> "Table":
+        """Return a table without the rows at ``indices``."""
+        indices = np.unique(np.asarray(indices, dtype=np.intp))
+        if indices.size and (indices[0] < 0 or indices[-1] >= len(self)):
+            raise IndexError(f"row indices outside [0, {len(self)}): {indices}")
+        keep = np.ones(len(self), dtype=bool)
+        keep[indices] = False
+        return self.take(np.nonzero(keep)[0])
+
+    def schema_fingerprint(self) -> str:
+        """Stable hex digest of the schema (names, domains, orderedness).
+
+        Row *contents* are deliberately excluded — the serving layer pairs
+        this with the engine's data-version token, so (fingerprint,
+        version) identifies a table state without hashing the data.
+        """
+        import hashlib
+
+        h = hashlib.sha1()
+        for col in self:
+            h.update(
+                repr((col.name, col.categories, col.ordered)).encode("utf-8")
+            )
+        return h.hexdigest()
+
     def concat_rows(self, other: "Table") -> "Table":
         """Stack another table with identical schema below this one."""
         if self.names != other.names:

@@ -34,21 +34,32 @@ Batched query API
     adjustment-cell) pairs come from two tensor lookups and the mixture
     is a single broadcast multiply-sum.
 
-Tensors are LRU-cached per column set.  Column sets whose dense joint
-domain would exceed ``max_cells`` fall back to sparse mask-based
-evaluation, so the engine stays total on pathological schemas while
-serving the common case at vector speed.
+Tensors are LRU-cached per column set under a byte budget.  Column sets
+whose dense joint domain would exceed ``max_cells`` fall back to sparse
+mask-based evaluation, so the engine stays total on pathological schemas
+while serving the common case at vector speed.
+
+Incremental maintenance
+-----------------------
+
+``apply_delta(inserted_rows, deleted_rows)`` folds a batch of row
+insertions/deletions into every cached count tensor *in place* — one
+packed-code scatter-add per tensor, O(|delta|) per column set instead of
+an O(n) rebuild — rebinds the engine to the post-delta table, and bumps
+:attr:`version`.  The version token is what the serving layer's result
+cache keys on, so an update invalidates exactly the entries that depend
+on the superseded data.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.data.table import Table
 from repro.utils.exceptions import EstimationError
+from repro.utils.lru import ByteBudgetLRU
 
 
 class _CapacityError(Exception):
@@ -77,6 +88,9 @@ class ContingencyEngine:
         one tensor; larger column sets use sparse mask fallbacks.
     cache_size:
         Number of count tensors kept in the LRU cache.
+    max_bytes:
+        Approximate byte budget for the tensor cache; least-recently-used
+        tensors are evicted beyond it. ``None`` disables the byte bound.
     """
 
     def __init__(
@@ -85,6 +99,7 @@ class ContingencyEngine:
         alpha: float = 0.0,
         max_cells: int = 1 << 22,
         cache_size: int = 256,
+        max_bytes: int | None = 128 << 20,
     ):
         if alpha < 0:
             raise ValueError(f"alpha must be non-negative, got {alpha}")
@@ -92,9 +107,11 @@ class ContingencyEngine:
         self._alpha = float(alpha)
         self._n = len(table)
         self._max_cells = int(max_cells)
-        self._cache_size = int(cache_size)
+        self._version = 0
         self._cards: dict[str, int] = {}
-        self._tensors: OrderedDict[tuple[str, ...], np.ndarray] = OrderedDict()
+        self._tensors: ByteBudgetLRU = ByteBudgetLRU(
+            max_bytes=max_bytes, max_entries=int(cache_size)
+        )
 
     # -- basic accessors ---------------------------------------------------
 
@@ -112,6 +129,22 @@ class ContingencyEngine:
     def alpha(self) -> float:
         """Laplace smoothing mass."""
         return self._alpha
+
+    @property
+    def version(self) -> int:
+        """Monotone data-version token, bumped by every non-empty delta."""
+        return self._version
+
+    def stats(self) -> dict:
+        """Introspection dict: tensor-cache counters plus engine state.
+
+        The cache counters (``entries`` / ``bytes`` / ``hits`` /
+        ``misses`` / ``evictions``) share their shape with every other
+        cache in the serving stack (see :mod:`repro.utils.lru`).
+        """
+        out = self._tensors.stats()
+        out.update(n_rows=self._n, version=self._version, max_cells=self._max_cells)
+        return out
 
     def _card(self, name: str) -> int:
         card = self._cards.get(name)
@@ -134,7 +167,6 @@ class ContingencyEngine:
         key = tuple(names)
         cached = self._tensors.get(key)
         if cached is not None:
-            self._tensors.move_to_end(key)
             return cached
         shape = tuple(self._card(n) for n in key)
         cells = _prod(shape) if key else 1
@@ -143,15 +175,133 @@ class ContingencyEngine:
         if not key:
             tensor = np.full((), self._n, dtype=np.int64)
         else:
-            packed = np.zeros(self._n, dtype=np.int64)
-            for name in key:
-                packed *= self._card(name)
-                packed += self._table.codes(name)
-            tensor = np.bincount(packed, minlength=cells).reshape(shape)
-        self._tensors[key] = tensor
-        if len(self._tensors) > self._cache_size:
-            self._tensors.popitem(last=False)
+            tensor = np.bincount(
+                self._pack({n: self._table.codes(n) for n in key}, key, self._n),
+                minlength=cells,
+            ).reshape(shape)
+        self._tensors.put(key, tensor, size=tensor.nbytes)
         return tensor
+
+    def _pack(
+        self,
+        codes: Mapping[str, np.ndarray],
+        names: Sequence[str],
+        length: int,
+    ) -> np.ndarray:
+        """Mixed-radix packing of per-column codes into one key vector."""
+        packed = np.zeros(length, dtype=np.int64)
+        for name in names:
+            packed *= self._card(name)
+            packed += np.asarray(codes[name], dtype=np.int64)
+        return packed
+
+    # -- incremental maintenance -------------------------------------------
+
+    def _normalize_inserted(
+        self, inserted_rows: Any
+    ) -> tuple[dict[str, np.ndarray], int]:
+        """Validate/convert an insert batch to full-schema code arrays."""
+        names = self._table.names
+        if inserted_rows is None:
+            return {}, 0
+        if isinstance(inserted_rows, Table):
+            for name in inserted_rows.names:
+                if name in self._table and (
+                    inserted_rows.domain(name) != self._table.domain(name)
+                ):
+                    raise ValueError(
+                        f"inserted column {name!r} has a different domain; "
+                        "deltas cannot change category sets"
+                    )
+            inserted = {n: inserted_rows.codes(n) for n in inserted_rows.names}
+        elif isinstance(inserted_rows, Mapping):
+            inserted = {n: np.asarray(a, dtype=np.int64) for n, a in inserted_rows.items()}
+        else:
+            rows = list(inserted_rows)
+            inserted = {
+                n: np.array([int(r[n]) for r in rows], dtype=np.int64) for n in names
+            } if rows else {}
+        if not inserted:
+            return {}, 0
+        if set(inserted) != set(names):
+            raise ValueError(
+                f"inserted rows must cover the full schema {names}; "
+                f"got {sorted(inserted)}"
+            )
+        lengths = {n: len(np.atleast_1d(inserted[n])) for n in names}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(f"inserted columns differ in length: {lengths}")
+        n_ins = next(iter(lengths.values()))
+        for name in names:
+            arr = np.atleast_1d(np.asarray(inserted[name], dtype=np.int64))
+            if arr.size and (arr.min() < 0 or arr.max() >= self._card(name)):
+                raise ValueError(
+                    f"inserted codes for {name!r} outside [0, {self._card(name)})"
+                )
+            inserted[name] = arr
+        return inserted, n_ins
+
+    def apply_delta(
+        self,
+        inserted_rows: Any = None,
+        deleted_rows: Sequence[int] | np.ndarray | None = None,
+    ) -> int:
+        """Fold row insertions/deletions into the cached tensors in place.
+
+        ``inserted_rows`` may be a :class:`Table` slice, a mapping of
+        full-schema code arrays, or a sequence of ``{column: code}``
+        mappings; domains must match the current table (a delta can never
+        extend a column's category set).  ``deleted_rows`` are row
+        *indices* into the current table; deletions are applied first,
+        then insertions are appended.
+
+        Every cached count tensor is updated with one packed-code
+        scatter-add/subtract — O(|delta|) work per column set instead of
+        an O(n) rebuild — the engine rebinds to the post-delta table, and
+        :attr:`version` is bumped.  Updated tensors are bit-identical to
+        a fresh rebuild (integer counts, no rounding).  An empty delta is
+        a no-op and leaves the version unchanged.  Returns the version.
+        """
+        inserted, n_ins = self._normalize_inserted(inserted_rows)
+        if deleted_rows is None:
+            deleted = np.empty(0, dtype=np.intp)
+        else:
+            deleted = np.unique(np.asarray(deleted_rows, dtype=np.intp))
+        if deleted.size and (deleted[0] < 0 or deleted[-1] >= self._n):
+            raise IndexError(
+                f"deleted row indices outside [0, {self._n}): {deleted}"
+            )
+        if not n_ins and not deleted.size:
+            return self._version
+        removed = {
+            name: self._table.codes(name)[deleted] for name in self._table.names
+        } if deleted.size else {}
+
+        for key in list(self._tensors):
+            tensor = self._tensors.peek(key)
+            if not key:
+                tensor[...] = self._n - deleted.size + n_ins
+                continue
+            cells = tensor.size
+            if n_ins:
+                tensor += np.bincount(
+                    self._pack(inserted, key, n_ins), minlength=cells
+                ).reshape(tensor.shape)
+            if deleted.size:
+                tensor -= np.bincount(
+                    self._pack(removed, key, deleted.size), minlength=cells
+                ).reshape(tensor.shape)
+
+        base = self._table.delete_rows(deleted) if deleted.size else self._table
+        if n_ins:
+            base = Table(
+                col.replaced(np.concatenate([col.codes, inserted[col.name]]))
+                for col in base
+            )
+        self._table = base
+        self._n = len(self._table)
+        self._version += 1
+        return self._version
 
     def _counts_nd(
         self,

@@ -66,6 +66,24 @@ class FrequencyEstimator:
         """
         return self._engine
 
+    # -- incremental maintenance ------------------------------------------
+
+    def apply_delta(self, inserted_rows=None, deleted_rows=None) -> int:
+        """Fold a row delta into the engine and refresh derived state.
+
+        Delegates to :meth:`ContingencyEngine.apply_delta` (in-place
+        tensor maintenance + version bump), rebinds this estimator to the
+        post-delta table, and drops the boolean-mask caches, which are
+        row-aligned and therefore invalidated by any row change.
+        Returns the engine's new data version.
+        """
+        version = self._engine.apply_delta(inserted_rows, deleted_rows)
+        self._table = self._engine.table
+        self._n = self._engine.n_rows
+        self._mask_cache.clear()
+        self._trivial_mask = None
+        return version
+
     # -- masks -----------------------------------------------------------
 
     def _mask(self, conditions: Mapping[str, int]) -> np.ndarray:

@@ -115,6 +115,29 @@ def render_recourse(recourse: Recourse, title: str | None = None) -> str:
     return "\n".join(lines)
 
 
+def render_service_stats(stats: Mapping, title: str | None = None) -> str:
+    """Aligned text view of :meth:`ExplainerSession.stats` output.
+
+    Nested cache/engine/scheduler counter dicts render as indented
+    ``key: value`` blocks; scalar session fields come first.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    scalars = {k: v for k, v in stats.items() if not isinstance(v, Mapping)}
+    nested = {k: v for k, v in stats.items() if isinstance(v, Mapping)}
+    width = max((len(k) for k in scalars), default=4)
+    for key, value in scalars.items():
+        lines.append(f"{key:{width}s}  {value}")
+    for section, counters in nested.items():
+        lines.append(f"{section}:")
+        inner_width = max((len(k) for k in counters), default=4)
+        for key, value in counters.items():
+            shown = f"{value:.3f}" if isinstance(value, float) else value
+            lines.append(f"  {key:{inner_width}s}  {shown}")
+    return "\n".join(lines)
+
+
 def render_comparison(
     rankings: Mapping[str, Sequence[str]], title: str | None = None
 ) -> str:

@@ -1,0 +1,212 @@
+"""Micro-batching request dispatcher for the explanation service.
+
+Under concurrent traffic, many in-flight requests reduce to the same
+vectorized engine primitives: N score requests sharing a context are one
+``ScoreEstimator.scores_batch`` call, N bounds requests one
+``bounds_batch`` call, and a burst of local explanations shares the
+lazily fitted per-attribute regression models.  :class:`MicroBatcher`
+exploits this: callers submit ``(kind, payload)`` work items and block
+on a future; a single dispatch thread drains the queue in short windows
+and hands each kind's batch to its registered handler in one call, so K
+concurrent requests cost one batched engine pass instead of K scalar
+passes.
+
+The batcher is deliberately generic — handlers are plain
+``handler(payloads: list) -> list`` callables registered by the session
+— so it is testable without a model and reusable for new request kinds.
+``flush()`` drains synchronously for deterministic single-threaded use
+(the batcher never *requires* its background thread).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Mapping
+
+
+class MicroBatcher:
+    """Coalesces concurrent requests into batched handler calls.
+
+    Parameters
+    ----------
+    handlers:
+        ``{kind: handler}`` where ``handler(payloads) -> results`` maps a
+        batch of payloads to results aligned with the input order.
+    window:
+        Seconds the dispatch thread waits, after the first item of a
+        batch arrives, for more items to coalesce.
+    max_batch:
+        Largest number of requests drained into one dispatch round.
+    start:
+        Start the background dispatch thread immediately. With
+        ``start=False`` the batcher runs in synchronous mode: callers
+        must invoke :meth:`flush` (tests, single-threaded embedding).
+    """
+
+    def __init__(
+        self,
+        handlers: Mapping[str, Callable[[list], list]],
+        window: float = 0.002,
+        max_batch: int = 64,
+        start: bool = True,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        self._handlers = dict(handlers)
+        self._window = float(window)
+        self._max_batch = int(max_batch)
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._closed = False
+        self._requests = 0
+        self._batches = 0
+        self._largest_batch = 0
+        self._thread: threading.Thread | None = None
+        if start:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background dispatch thread (idempotent)."""
+        with self._lock:
+            if self._thread is not None or self._closed:
+                return
+            self._thread = threading.Thread(
+                target=self._run, name="repro-microbatcher", daemon=True
+            )
+            self._thread.start()
+
+    def close(self) -> None:
+        """Stop the dispatch thread and flush remaining work."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._thread is not None:
+            self._queue.put(None)  # wake the dispatcher
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.flush()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, kind: str, payload: Any) -> Future:
+        """Enqueue one request; the future resolves after its batch runs."""
+        if kind not in self._handlers:
+            raise KeyError(
+                f"no handler for request kind {kind!r}; "
+                f"registered: {sorted(self._handlers)}"
+            )
+        future: Future = Future()
+        self._queue.put((kind, payload, future))
+        return future
+
+    def run(self, kind: str, payload: Any) -> Any:
+        """Submit and wait — the synchronous convenience path.
+
+        In background mode the wait is where coalescing happens: while
+        this caller blocks, other threads' requests join the same batch.
+        In synchronous mode (no thread) the queue is flushed inline.
+        """
+        future = self.submit(kind, payload)
+        if self._thread is None:
+            self.flush()
+        return future.result()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def flush(self) -> int:
+        """Drain the queue synchronously; returns the number served."""
+        served = 0
+        while True:
+            batch = self._drain(block=False)
+            if not batch:
+                return served
+            self._dispatch(batch)
+            served += len(batch)
+
+    def _drain(self, block: bool) -> list[tuple[str, Any, Future]]:
+        """Collect up to ``max_batch`` items, waiting ``window`` once."""
+        items: list[tuple[str, Any, Future]] = []
+        try:
+            first = self._queue.get(block=block)
+        except queue.Empty:
+            return items
+        if first is None:
+            return items
+        items.append(first)
+        # One coalescing window per batch: once the first item arrives,
+        # wait up to ``window`` total for stragglers, then serve.
+        deadline = time.monotonic() + self._window
+        while len(items) < self._max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is None:
+                break
+            items.append(item)
+        return items
+
+    def _dispatch(self, items: list[tuple[str, Any, Future]]) -> None:
+        groups: dict[str, list[tuple[Any, Future]]] = {}
+        for kind, payload, future in items:
+            groups.setdefault(kind, []).append((payload, future))
+        for kind, entries in groups.items():
+            payloads = [p for p, _f in entries]
+            try:
+                results = self._handlers[kind](payloads)
+                if len(results) != len(payloads):
+                    raise RuntimeError(
+                        f"handler {kind!r} returned {len(results)} results "
+                        f"for {len(payloads)} payloads"
+                    )
+            except BaseException as exc:  # propagate to every waiter
+                for _payload, future in entries:
+                    future.set_exception(exc)
+                continue
+            for (_payload, future), result in zip(entries, results):
+                future.set_result(result)
+        self._requests += len(items)
+        self._batches += 1
+        self._largest_batch = max(self._largest_batch, len(items))
+
+    def _run(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+            batch = self._drain(block=True)
+            if batch:
+                self._dispatch(batch)
+            with self._lock:
+                if self._closed:
+                    return
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Dispatch counters: how well requests coalesced."""
+        return {
+            "requests": self._requests,
+            "batches": self._batches,
+            "largest_batch": self._largest_batch,
+            "mean_batch": (self._requests / self._batches) if self._batches else 0.0,
+            "window_s": self._window,
+            "max_batch": self._max_batch,
+            "background": self._thread is not None,
+        }

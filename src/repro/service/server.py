@@ -1,0 +1,293 @@
+"""Stdlib JSON-over-HTTP front end for an :class:`ExplainerSession`.
+
+No framework, no dependency: :class:`http.server.ThreadingHTTPServer`
+plus a request handler that maps JSON bodies onto the session's typed
+request objects.  Because every handler thread funnels engine work into
+the session's micro-batcher, concurrent HTTP requests coalesce into
+batched engine passes while cache hits return without touching the
+engine at all.
+
+Endpoints (all responses are JSON)::
+
+    GET  /v1/health            liveness + session identity
+    GET  /v1/stats             cache / engine / scheduler statistics
+    POST /v1/explain/global    {"attributes"?, "max_pairs_per_attribute"?}
+    POST /v1/explain/context   {"context": {attr: value}, ...}
+    POST /v1/explain/local     {"index"? | "individual"?, "attributes"?}
+    POST /v1/recourse          {"index", "actionable"?, "alpha"?}
+    POST /v1/audit             {"protected"?, "tolerance"?}
+    POST /v1/scores            {"contrasts": [[values, baselines], ...], "context"?}
+    POST /v1/update            {"insert": [row, ...], "delete": [index, ...]}
+
+Client errors (unknown attribute/label, malformed body) return 400 with
+``{"error": ...}``; unsupported conditioning events return 422;
+infeasible recourse returns 409.  Start a server with ``python -m
+repro.cli serve`` or programmatically via :func:`create_server`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from repro.service.session import (
+    AuditRequest,
+    ContextExplainRequest,
+    ExplainerSession,
+    GlobalExplainRequest,
+    LocalExplainRequest,
+    RecourseRequest,
+    ScoresRequest,
+)
+from repro.service.updates import TableDelta
+from repro.utils.exceptions import (
+    DomainError,
+    EstimationError,
+    RecourseInfeasibleError,
+)
+
+MAX_BODY_BYTES = 8 << 20
+
+
+class BadRequest(ValueError):
+    """Malformed request body (HTTP 400)."""
+
+
+def _opt_tuple(payload: Mapping[str, Any], key: str) -> tuple | None:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)):
+        raise BadRequest(f"{key!r} must be a list")
+    return tuple(value)
+
+
+def _as_int(value: Any, key: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise BadRequest(f"{key!r} must be an integer")
+    return int(value)
+
+
+def _as_number(value: Any, key: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequest(f"{key!r} must be a number")
+    return float(value)
+
+
+def _build_request(path: str, payload: Mapping[str, Any]):
+    """Translate (endpoint, JSON body) into a session request object."""
+    if not isinstance(payload, Mapping):
+        raise BadRequest("request body must be a JSON object")
+    if path == "/v1/explain/global":
+        return GlobalExplainRequest(
+            attributes=_opt_tuple(payload, "attributes"),
+            max_pairs_per_attribute=_as_int(
+                payload.get("max_pairs_per_attribute", 8), "max_pairs_per_attribute"
+            ),
+        )
+    if path == "/v1/explain/context":
+        context = payload.get("context")
+        if not isinstance(context, Mapping) or not context:
+            raise BadRequest('"context" must be a non-empty object')
+        return ContextExplainRequest(
+            context=dict(context),
+            attributes=_opt_tuple(payload, "attributes"),
+            max_pairs_per_attribute=_as_int(
+                payload.get("max_pairs_per_attribute", 8), "max_pairs_per_attribute"
+            ),
+        )
+    if path == "/v1/explain/local":
+        index = payload.get("index")
+        individual = payload.get("individual")
+        if (index is None) == (individual is None):
+            raise BadRequest('pass exactly one of "index" / "individual"')
+        if individual is not None and not isinstance(individual, Mapping):
+            raise BadRequest('"individual" must be an object')
+        return LocalExplainRequest(
+            index=None if index is None else _as_int(index, "index"),
+            individual=dict(individual) if individual is not None else None,
+            attributes=_opt_tuple(payload, "attributes"),
+        )
+    if path == "/v1/recourse":
+        if "index" not in payload:
+            raise BadRequest('"index" is required')
+        return RecourseRequest(
+            index=_as_int(payload["index"], "index"),
+            actionable=_opt_tuple(payload, "actionable"),
+            alpha=_as_number(payload.get("alpha", 0.8), "alpha"),
+        )
+    if path == "/v1/audit":
+        return AuditRequest(
+            protected=_opt_tuple(payload, "protected"),
+            tolerance=_as_number(payload.get("tolerance", 0.05), "tolerance"),
+        )
+    if path == "/v1/scores":
+        contrasts = payload.get("contrasts")
+        if not isinstance(contrasts, list) or not contrasts:
+            raise BadRequest('"contrasts" must be a non-empty list')
+        parsed = []
+        for entry in contrasts:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not all(isinstance(side, Mapping) for side in entry)
+            ):
+                raise BadRequest(
+                    "each contrast must be a [values, baselines] pair of objects"
+                )
+            parsed.append((dict(entry[0]), dict(entry[1])))
+        context = payload.get("context", {})
+        if not isinstance(context, Mapping):
+            raise BadRequest('"context" must be an object')
+        return ScoresRequest(contrasts=tuple(parsed), context=dict(context))
+    raise KeyError(path)
+
+
+class ExplainerRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the attached :class:`ExplainerSession`."""
+
+    server_version = "repro-explainer/1.0"
+    protocol_version = "HTTP/1.1"
+    #: silence per-request stderr logging unless the server opts in.
+    verbose = False
+
+    @property
+    def session(self) -> ExplainerSession:
+        return self.server.session  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.verbose:
+            super().log_message(format, *args)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # Error paths may leave an unread request body on the wire
+            # (e.g. an oversized POST rejected before reading); under
+            # HTTP/1.1 keep-alive those bytes would be parsed as the next
+            # request line, so drop the connection instead.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b"{}"
+        if not raw.strip():
+            return {}
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from exc
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        session = self.session
+        if self.path in ("/v1/health", "/health"):
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "fingerprint": session.fingerprint,
+                    "table_version": session.table_version,
+                    "n_rows": len(session.lewis.data),
+                },
+            )
+        elif self.path in ("/v1/stats", "/stats"):
+            self._send_json(200, session.stats())
+        else:
+            self._send_json(404, {"error": f"unknown endpoint {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        session = self.session
+        started = time.perf_counter()
+        try:
+            payload = self._read_body()
+            if self.path == "/v1/update":
+                response = session.update(TableDelta.from_json(payload))
+            else:
+                try:
+                    request = _build_request(self.path, payload)
+                except KeyError:
+                    self._send_json(
+                        404, {"error": f"unknown endpoint {self.path!r}"}
+                    )
+                    return
+                response = session.handle(request)
+        except (BadRequest, DomainError, ValueError) as exc:
+            # ValueError is the library's client-error convention
+            # (malformed deltas, bad selectors, missing actionables).
+            self._send_json(400, {"error": str(exc)})
+            return
+        except KeyError as exc:
+            self._send_json(400, {"error": f"unknown attribute: {exc}"})
+            return
+        except IndexError as exc:
+            self._send_json(400, {"error": f"row index out of range: {exc}"})
+            return
+        except RecourseInfeasibleError as exc:
+            self._send_json(409, {"error": f"recourse infeasible: {exc}"})
+            return
+        except EstimationError as exc:
+            self._send_json(422, {"error": f"unsupported conditioning event: {exc}"})
+            return
+        except Exception as exc:  # noqa: BLE001 - internal defects -> 500
+            self._send_json(
+                500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+            )
+            return
+        response["table_version"] = session.table_version
+        response["elapsed_ms"] = round((time.perf_counter() - started) * 1e3, 3)
+        self._send_json(200, response)
+
+
+def create_server(
+    session: ExplainerSession,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server to ``session`` (``port=0`` auto-picks).
+
+    The caller owns the lifecycle: ``serve_forever()`` to block,
+    ``shutdown()`` + ``server_close()`` to stop (and close the session).
+    """
+    handler = type(
+        "BoundHandler", (ExplainerRequestHandler,), {"verbose": verbose}
+    )
+    # Handler threads are only safe against a running dispatch lane —
+    # without it each thread would execute engine work inline.
+    session.start_background()
+    server = ThreadingHTTPServer((host, port), handler)
+    server.session = session  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    session: ExplainerSession,
+    host: str = "127.0.0.1",
+    port: int = 8321,
+    verbose: bool = False,
+) -> None:
+    """Serve ``session`` until interrupted (the CLI entry point)."""
+    server = create_server(session, host=host, port=port, verbose=verbose)
+    bound = server.server_address
+    print(f"explanation service listening on http://{bound[0]}:{bound[1]}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        session.close()

@@ -1,0 +1,155 @@
+"""A byte-budgeted LRU cache with hit/miss/eviction accounting.
+
+Both caching layers of the serving stack — the
+:class:`~repro.estimation.engine.ContingencyEngine`'s count-tensor cache
+and the :class:`~repro.service.cache.ResultCache` in front of an
+:class:`~repro.service.session.ExplainerSession` — need the same three
+things: least-recently-used eviction, an *approximate byte* budget
+rather than an entry count (tensor and response sizes vary by orders of
+magnitude), and introspectable statistics so operators can size the
+budget from observed hit rates.  :class:`ByteBudgetLRU` provides all
+three behind a dict-like interface; the ``stats()`` dict shape is shared
+verbatim by every cache in the system.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Iterator
+
+
+def _default_sizeof(value: Any) -> int:
+    """Best-effort byte estimate: ``nbytes`` when present, else ``len``-ish."""
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    try:
+        return len(value)
+    except TypeError:
+        return 1
+
+
+class ByteBudgetLRU:
+    """LRU mapping bounded by an approximate total byte size.
+
+    Parameters
+    ----------
+    max_bytes:
+        Soft budget on the summed entry sizes. ``None`` disables the
+        byte bound. An entry larger than the whole budget is evicted
+        immediately after insertion (the cache never lies about its
+        bound), but the caller still receives the computed value.
+    max_entries:
+        Optional additional bound on the entry count.
+    sizeof:
+        ``sizeof(value) -> int`` used when :meth:`put` is not given an
+        explicit size. Defaults to ``value.nbytes`` / ``len(value)``.
+    """
+
+    def __init__(
+        self,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
+        sizeof: Callable[[Any], int] | None = None,
+    ):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_bytes = max_bytes
+        self.max_entries = max_entries
+        self._sizeof = sizeof or _default_sizeof
+        self._items: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- mapping interface -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._items
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._items)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (counting a hit) or ``default`` (a miss)."""
+        entry = self._items.get(key)
+        if entry is None:
+            self._misses += 1
+            return default
+        self._hits += 1
+        self._items.move_to_end(key)
+        return entry[0]
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Like :meth:`get` but without touching recency or hit counters."""
+        entry = self._items.get(key)
+        return default if entry is None else entry[0]
+
+    def put(self, key: Hashable, value: Any, size: int | None = None) -> None:
+        """Insert/replace ``key`` and evict LRU entries beyond the budget."""
+        size = int(self._sizeof(value) if size is None else size)
+        old = self._items.pop(key, None)
+        if old is not None:
+            self._bytes -= old[1]
+        self._items[key] = (value, size)
+        self._bytes += size
+        self._shrink()
+
+    def discard(self, key: Hashable) -> bool:
+        """Drop ``key`` if present (not counted as an eviction)."""
+        entry = self._items.pop(key, None)
+        if entry is None:
+            return False
+        self._bytes -= entry[1]
+        return True
+
+    def discard_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose key satisfies ``predicate``; return count.
+
+        This is the targeted-invalidation hook: a table update drops only
+        the entries keyed to superseded versions and leaves the rest hot.
+        """
+        stale = [k for k in self._items if predicate(k)]
+        for key in stale:
+            self.discard(key)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are retained)."""
+        self._items.clear()
+        self._bytes = 0
+
+    def _shrink(self) -> None:
+        while self._items and (
+            (self.max_bytes is not None and self._bytes > self.max_bytes)
+            or (self.max_entries is not None and len(self._items) > self.max_entries)
+        ):
+            _key, (_value, size) = self._items.popitem(last=False)
+            self._bytes -= size
+            self._evictions += 1
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def bytes(self) -> int:
+        """Approximate total size of the cached values."""
+        return self._bytes
+
+    def stats(self) -> dict:
+        """Counters in the shape shared by every cache in the system."""
+        total = self._hits + self._misses
+        return {
+            "entries": len(self._items),
+            "bytes": self._bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "hit_rate": (self._hits / total) if total else 0.0,
+        }

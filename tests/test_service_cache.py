@@ -1,0 +1,126 @@
+"""Unit tests for the byte-bounded LRU and the service result cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service.cache import ResultCache, canonical, payload_bytes
+from repro.utils.lru import ByteBudgetLRU
+
+
+class TestByteBudgetLRU:
+    def test_get_put_and_hit_miss_counters(self):
+        lru = ByteBudgetLRU(max_bytes=100)
+        assert lru.get("k") is None
+        lru.put("k", "value", size=5)
+        assert lru.get("k") == "value"
+        stats = lru.stats()
+        assert stats == {
+            "entries": 1,
+            "bytes": 5,
+            "max_bytes": 100,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "hit_rate": 0.5,
+        }
+
+    def test_lru_eviction_by_bytes(self):
+        lru = ByteBudgetLRU(max_bytes=10)
+        lru.put("a", "A", size=4)
+        lru.put("b", "B", size=4)
+        lru.get("a")  # "a" is now most recent
+        lru.put("c", "C", size=4)  # evicts "b"
+        assert "a" in lru and "c" in lru and "b" not in lru
+        assert lru.stats()["evictions"] == 1
+        assert lru.bytes <= 10
+
+    def test_eviction_by_entry_count(self):
+        lru = ByteBudgetLRU(max_entries=2)
+        for key in "abc":
+            lru.put(key, key, size=1)
+        assert len(lru) == 2 and "a" not in lru
+
+    def test_oversized_entry_is_evicted_immediately(self):
+        lru = ByteBudgetLRU(max_bytes=10)
+        lru.put("big", "x", size=50)
+        assert len(lru) == 0
+        assert lru.stats()["evictions"] == 1
+
+    def test_replace_updates_bytes(self):
+        lru = ByteBudgetLRU(max_bytes=100)
+        lru.put("k", "v1", size=10)
+        lru.put("k", "v2", size=30)
+        assert lru.bytes == 30 and len(lru) == 1
+
+    def test_discard_where(self):
+        lru = ByteBudgetLRU()
+        for i in range(5):
+            lru.put(("v", i), i, size=1)
+        dropped = lru.discard_where(lambda k: k[1] < 3)
+        assert dropped == 3 and len(lru) == 2
+        assert lru.stats()["evictions"] == 0  # invalidation is not eviction
+
+    def test_default_sizeof_uses_nbytes(self):
+        lru = ByteBudgetLRU()
+        array = np.zeros(10, dtype=np.int64)
+        lru.put("t", array)
+        assert lru.bytes == array.nbytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ByteBudgetLRU(max_bytes=-1)
+        with pytest.raises(ValueError):
+            ByteBudgetLRU(max_entries=0)
+
+
+class TestCanonical:
+    def test_dict_order_and_sequence_type_insensitive(self):
+        a = canonical({"x": [1, 2], "y": {"b": 2, "a": 1}})
+        b = canonical({"y": {"a": 1, "b": 2}, "x": (1, 2)})
+        assert a == b
+
+    def test_numpy_scalars_collapse(self):
+        assert canonical({"k": np.int64(3)}) == canonical({"k": 3})
+
+    def test_distinct_payloads_stay_distinct(self):
+        assert canonical({"x": 1}) != canonical({"x": 2})
+        assert canonical({"x": 1}) != canonical({"y": 1})
+
+
+class TestResultCache:
+    def test_round_trip_and_stats(self):
+        cache = ResultCache(max_bytes=1 << 20)
+        key = ResultCache.key("fp", 0, "explain_global", {"attributes": None})
+        assert cache.get(key) is None
+        cache.put(key, {"ranking": ["a", "b"]})
+        assert cache.get(key) == {"ranking": ["a", "b"]}
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["bytes"] == payload_bytes({"ranking": ["a", "b"]})
+
+    def test_version_partitions_keys(self):
+        cache = ResultCache()
+        k0 = ResultCache.key("fp", 0, "g", {})
+        k1 = ResultCache.key("fp", 1, "g", {})
+        cache.put(k0, "old")
+        assert cache.get(k1) is None
+
+    def test_purge_stale_is_targeted(self):
+        cache = ResultCache()
+        cache.put(ResultCache.key("fp", 0, "g", {}), "stale")
+        cache.put(ResultCache.key("fp", 1, "g", {}), "current")
+        cache.put(ResultCache.key("other", 0, "g", {}), "other-session")
+        dropped = cache.purge_stale("fp", 1)
+        assert dropped == 1
+        assert cache.get(ResultCache.key("fp", 1, "g", {})) == "current"
+        assert cache.get(ResultCache.key("other", 0, "g", {})) == "other-session"
+        assert cache.stats()["invalidations"] == 1
+
+    def test_byte_budget_enforced(self):
+        cache = ResultCache(max_bytes=payload_bytes({"v": 0}) * 2)
+        for i in range(10):
+            cache.put(ResultCache.key("fp", 0, "g", {"i": i}), {"v": i})
+        assert len(cache) <= 2
+        assert cache.stats()["evictions"] >= 8

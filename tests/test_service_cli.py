@@ -1,0 +1,96 @@
+"""CLI smoke tests for ``--version`` and the ``serve`` subcommand."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro import __version__
+from repro.cli import build_parser, main
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_serve_parser_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["serve", "--port", "0", "--cache-mb", "8", "--dataset", "german"]
+        )
+        assert args.port == 0
+        assert args.cache_mb == 8.0
+        assert args.func.__name__ == "cmd_serve"
+
+    def test_serve_help_mentions_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--port" in out and "--cache-mb" in out
+
+
+class TestServeSmoke:
+    def test_serve_answers_health_and_explain(self):
+        """Boot the real server process, hit it, and shut it down."""
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+        env["PYTHONUNBUFFERED"] = "1"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--dataset", "german", "--rows", "200", "--port", "0",
+                "--cache-mb", "4",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            deadline = time.time() + 120
+            banner = ""
+            while time.time() < deadline:
+                line = process.stdout.readline()
+                if not line and process.poll() is not None:
+                    raise AssertionError(f"server exited early: {banner}")
+                banner += line
+                match = re.search(r"http://([\d.]+):(\d+)", line or "")
+                if match:
+                    break
+            else:
+                raise AssertionError(f"no listening banner within 120s: {banner}")
+            base = f"http://{match.group(1)}:{match.group(2)}"
+            with urllib.request.urlopen(f"{base}/v1/health", timeout=10) as r:
+                health = json.loads(r.read())
+            assert health["status"] == "ok"
+            request = urllib.request.Request(
+                f"{base}/v1/explain/global",
+                data=json.dumps({"max_pairs_per_attribute": 2}).encode(),
+            )
+            with urllib.request.urlopen(request, timeout=60) as r:
+                body = json.loads(r.read())
+            assert r.status == 200
+            assert body["result"]["ranking"]
+        finally:
+            process.send_signal(signal.SIGINT)
+            try:
+                process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=15)
