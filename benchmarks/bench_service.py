@@ -34,8 +34,9 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-if str(REPO_ROOT / "src") not in sys.path:
-    sys.path.insert(0, str(REPO_ROOT / "src"))
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -155,10 +156,13 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from benchmarks.conftest import result_envelope
+
     dataset = args.dataset or ("german" if args.smoke else "adult")
     rows = args.rows if args.rows is not None else (300 if args.smoke else 20_000)
     result = run(dataset, rows, args.append, args.repeats, args.seed)
     result["smoke"] = args.smoke
+    result = {"provenance": result_envelope(), **result}
 
     RESULTS_DIR.mkdir(exist_ok=True)
     # Smoke runs use tiny sizes; keep them out of the committed

@@ -17,6 +17,9 @@ minutes on a laptop.
 from __future__ import annotations
 
 import os
+import platform
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 import pytest
@@ -24,6 +27,36 @@ import pytest
 from repro import Lewis, fit_table_model, load_dataset, train_test_split
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def result_envelope() -> dict:
+    """Shared provenance envelope every results JSON embeds.
+
+    Benchmark numbers are only comparable when pinned to the code and
+    environment that produced them; every ``benchmarks/results/*.json``
+    writer stamps this envelope under a ``provenance`` key.
+    """
+    import numpy
+
+    try:
+        git_sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        git_sha = "unknown"
+    return {
+        "git_sha": git_sha,
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python_version": platform.python_version(),
+        "numpy_version": numpy.__version__,
+        "platform": platform.platform(),
+    }
 
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
 
@@ -49,11 +82,13 @@ def write_json(name: str, payload: dict) -> None:
 
     The JSON mirror of :func:`write_report` — per-op wall times and
     speedups in a stable schema, so the perf trajectory is diffable
-    across PRs instead of locked in formatted text.
+    across PRs instead of locked in formatted text.  Every payload is
+    stamped with the shared :func:`result_envelope` provenance.
     """
     import json
 
     RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {"provenance": result_envelope(), **payload}
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 

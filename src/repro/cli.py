@@ -1,15 +1,21 @@
 """Command-line interface: ``python -m repro.cli <command> ...``.
 
-Five subcommands mirror the library's main entry points:
+The subcommands mirror the library's main entry points:
 
 * ``explain``  — global or contextual explanation on a dataset,
 * ``local``    — local explanation for one row,
 * ``recourse`` — minimal-cost recourse for one row,
 * ``audit``    — counterfactual-fairness audit of protected attributes,
-* ``serve``    — start the JSON-over-HTTP explanation service.
+* ``serve``    — start the JSON-over-HTTP explanation service; with
+  ``--store DIR`` it serves every tenant in a durable registry,
+* ``snapshot`` — train + explain once, persist the warm session as a
+  named tenant in an artifact store,
+* ``restore``  — rebuild a tenant from snapshot + write-ahead log and
+  verify its tensors against a fresh recount,
+* ``registry`` — ``ls`` / ``add`` / ``rm`` tenants of a store.
 
-All commands train a black box on a fresh replica of the chosen dataset;
-results print as plain-text charts (see :mod:`repro.report`).
+Training commands build a black box on a fresh replica of the chosen
+dataset; results print as plain-text charts (see :mod:`repro.report`).
 """
 
 from __future__ import annotations
@@ -135,10 +141,42 @@ def cmd_serve(args) -> int:
     from repro.service import ExplainerSession, ResultCache
     from repro.service.server import serve
 
+    cache = ResultCache(max_bytes=int(args.cache_mb * (1 << 20)))
+    if args.store:
+        from repro.store import Registry
+        from repro.utils.exceptions import StoreError
+
+        registry = Registry(
+            args.store,
+            max_bytes=int(args.session_mb * (1 << 20)),
+            cache=cache,
+            background=True,
+        )
+        names = registry.names()
+        if not names:
+            print(
+                f"store {args.store!r} has no tenants; create one with "
+                "`repro snapshot --store DIR --name NAME`",
+                file=sys.stderr,
+            )
+            return 1
+        preload = names if args.preload and "all" in args.preload else (
+            args.preload or []
+        )
+        for name in preload:
+            print(f"preloading tenant {name!r} ...")
+            try:
+                registry.get(name)
+            except StoreError as exc:
+                print(f"cannot preload {name!r}: {exc}", file=sys.stderr)
+                return 1
+        print(f"serving tenants: {', '.join(names)}")
+        serve(host=args.host, port=args.port, verbose=args.verbose, registry=registry)
+        return 0
     bundle, _model, lewis = _build_explainer(args)
     session = ExplainerSession(
         lewis,
-        cache=ResultCache(max_bytes=int(args.cache_mb * (1 << 20))),
+        cache=cache,
         default_actionable=bundle.actionable,
         background=True,
     )
@@ -147,6 +185,109 @@ def cmd_serve(args) -> int:
     finally:
         print(render_service_stats(session.stats(), title="session statistics"))
     return 0
+
+
+def cmd_snapshot(args) -> int:
+    from repro.store import ArtifactStore, checkpoint_session, create_tenant
+    from repro.utils.exceptions import StoreError
+
+    store = ArtifactStore(args.store)
+    name = args.name or args.dataset
+    if store.snapshots(name):
+        print(
+            f"tenant {name!r} already exists in {args.store}; "
+            "`repro registry rm` it first, or checkpoint the live tenant "
+            "via the server's /v1/registry/<name>/snapshot",
+            file=sys.stderr,
+        )
+        return 1
+    bundle, _model, lewis = _build_explainer(args)
+    try:
+        session = create_tenant(
+            store,
+            name,
+            lewis,
+            default_actionable=bundle.actionable,
+            snapshot=False,
+        )
+    except StoreError as exc:
+        print(f"snapshot failed: {exc}", file=sys.stderr)
+        return 1
+    if args.warm:
+        # warm the count tensors so the snapshot restores query-ready
+        session.explain_global()
+    manifest = checkpoint_session(store, session, name)
+    session.close()
+    print(
+        f"tenant {name!r} snapshot {manifest['snapshot_id']} "
+        f"({manifest['session']['n_rows']} rows, "
+        f"fingerprint {manifest['session']['fingerprint']})"
+    )
+    return 0
+
+
+def cmd_restore(args) -> int:
+    from repro.store import ArtifactStore, restore_session, verify_restore
+    from repro.utils.exceptions import StoreError
+
+    store = ArtifactStore(args.store)
+    session = None
+    try:
+        session = restore_session(store, args.name, snapshot_id=args.snapshot)
+        verdict = verify_restore(session)
+    except StoreError as exc:
+        print(f"restore failed: {exc}", file=sys.stderr)
+        if session is not None:
+            session.close()
+        return 1
+    stats = session.stats()
+    print(
+        f"tenant {args.name!r} restored: {stats['n_rows']} rows, "
+        f"table version {stats['table_version']}, "
+        f"wal seq {stats['wal']['last_seq']}, "
+        f"{verdict['tensors']} tensors verified bit-identical"
+    )
+    if args.explain:
+        explanation = session.explain_global()
+        for statement in explanation["result"]["statements"][:3]:
+            print(" ", statement)
+    session.close()
+    return 0
+
+
+def cmd_registry(args) -> int:
+    from repro.store import ArtifactStore
+    from repro.utils.exceptions import StoreError
+
+    store = ArtifactStore(args.store)
+    if args.registry_command == "ls":
+        for name in store.tenants():
+            manifest = store.manifest(name)
+            snapshots = store.snapshots(name)
+            print(
+                f"{name:24s} snapshots={len(snapshots)} "
+                f"latest={manifest['snapshot_id']} "
+                f"rows={manifest['session']['n_rows']} "
+                f"wal_seq={manifest['wal_seq']}"
+            )
+        if not store.tenants():
+            print("(empty store)")
+        return 0
+    if args.registry_command == "add":
+        return cmd_snapshot(args)
+    if args.registry_command == "rm":
+        try:
+            removed = store.remove_tenant(args.name)
+        except StoreError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        if not removed:
+            print(f"no tenant {args.name!r} in {args.store}", file=sys.stderr)
+            return 1
+        dropped = store.gc()
+        print(f"removed tenant {args.name!r} ({dropped} blobs reclaimed)")
+        return 0
+    raise SystemExit(f"unknown registry command {args.registry_command!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -223,9 +364,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache budget in megabytes (default: 32)",
     )
     p_serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="serve every tenant of this artifact store (multi-tenant mode)",
+    )
+    p_serve.add_argument(
+        "--preload",
+        nargs="*",
+        default=None,
+        metavar="NAME",
+        help="tenants to load before accepting traffic ('all' for every one)",
+    )
+    p_serve.add_argument(
+        "--session-mb",
+        type=float,
+        default=256.0,
+        help="byte budget for resident tenant sessions (default: 256)",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request to stderr"
     )
     p_serve.set_defaults(func=cmd_serve)
+
+    def store_common(p, need_name: bool):
+        p.add_argument(
+            "--store", required=True, metavar="DIR", help="artifact store directory"
+        )
+        p.add_argument(
+            "--name",
+            required=need_name,
+            default=None,
+            help="tenant name" + ("" if need_name else " (default: dataset name)"),
+        )
+
+    p_snapshot = sub.add_parser(
+        "snapshot", help="train once, persist the warm session as a tenant"
+    )
+    common(p_snapshot)
+    store_common(p_snapshot, need_name=False)
+    p_snapshot.add_argument(
+        "--no-warm",
+        dest="warm",
+        action="store_false",
+        help="skip pre-warming count tensors before the snapshot",
+    )
+    p_snapshot.set_defaults(func=cmd_snapshot, warm=True)
+
+    p_restore = sub.add_parser(
+        "restore", help="rebuild a tenant from snapshot + write-ahead log"
+    )
+    store_common(p_restore, need_name=True)
+    p_restore.add_argument(
+        "--snapshot", default=None, help="snapshot id (default: latest)"
+    )
+    p_restore.add_argument(
+        "--explain", action="store_true", help="print a quick global explanation"
+    )
+    p_restore.set_defaults(func=cmd_restore)
+
+    p_registry = sub.add_parser("registry", help="manage a store's tenants")
+    reg_sub = p_registry.add_subparsers(dest="registry_command", required=True)
+    p_ls = reg_sub.add_parser("ls", help="list tenants and snapshots")
+    p_ls.add_argument("--store", required=True, metavar="DIR")
+    p_add = reg_sub.add_parser("add", help="alias of `snapshot`")
+    common(p_add)
+    store_common(p_add, need_name=False)
+    p_add.add_argument(
+        "--no-warm", dest="warm", action="store_false",
+        help="skip pre-warming count tensors before the snapshot",
+    )
+    p_add.set_defaults(warm=True)
+    p_rm = reg_sub.add_parser("rm", help="remove a tenant (snapshots + log)")
+    p_rm.add_argument("--store", required=True, metavar="DIR")
+    p_rm.add_argument("--name", required=True)
+    p_registry.set_defaults(func=cmd_registry)
     return parser
 
 

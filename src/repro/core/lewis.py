@@ -60,6 +60,16 @@ class Lewis:
     infer_orderings:
         Re-order unordered attribute domains by probing the black box
         (Section 4.1) so "higher code = more favourable" holds everywhere.
+    positive_vector:
+        Restore hook (see :mod:`repro.store`): the precomputed
+        positive-decision vector over ``data``. When given, the black box
+        is *not* re-run over the population — a snapshot restore supplies
+        the predictions it saved. Must align with ``data`` row for row.
+    model_domains:
+        Restore hook: the domain layout the black box was trained on,
+        keyed by column name. Pass together with the already-reordered
+        ``data`` and ``infer_orderings=False`` to rebuild an explainer
+        whose favourability ordering was inferred in a previous process.
     """
 
     def __init__(
@@ -73,6 +83,9 @@ class Lewis:
         attributes: Sequence[str] | None = None,
         infer_orderings: bool = True,
         seed: int | None = 0,
+        *,
+        positive_vector: np.ndarray | None = None,
+        model_domains: Mapping[str, Sequence[Any]] | None = None,
     ):
         self._model = model
         self.graph = graph
@@ -99,13 +112,27 @@ class Lewis:
         )
         #: the domain layout the black box was trained on; predictions are
         #: always issued in this space even after favourability reordering.
-        self._model_domains = {name: table.domain(name) for name in table.names}
+        if model_domains is not None:
+            self._model_domains = {
+                name: tuple(domain) for name, domain in model_domains.items()
+            }
+        else:
+            self._model_domains = {name: table.domain(name) for name in table.names}
         if infer_orderings:
             table = order_table_attributes(
                 self._raw_predict_positive, table, self.attributes, seed=seed
             )
         self.data = table
-        self._positive = np.asarray(self.predict_positive(table), dtype=bool)
+        if positive_vector is not None:
+            positive = np.asarray(positive_vector, dtype=bool)
+            if len(positive) != len(table):
+                raise ValueError(
+                    f"positive_vector has {len(positive)} entries; "
+                    f"data has {len(table)} rows"
+                )
+            self._positive = positive
+        else:
+            self._positive = np.asarray(self.predict_positive(table), dtype=bool)
         self.estimator = ScoreEstimator(table, self._positive, diagram=graph)
         self.bounds_estimator = BoundsEstimator(self.estimator)
         self._recourse_solvers: dict[tuple, RecourseSolver] = {}

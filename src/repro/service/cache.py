@@ -3,10 +3,11 @@
 Explanation responses are pure functions of *(model, data, query)*:
 the same black box over the same table state answers the same request
 identically, so the serving layer can memoise whole responses.  The
-cache key is the triple ``(model fingerprint, table version, canonical
-query)`` — the fingerprint pins the model, the engine's data-version
-token pins the table state, and :func:`canonical` makes structurally
-equal queries (dict ordering, list vs tuple, numpy scalars) collide.
+cache key is ``(tenant, model fingerprint, table state, canonical
+query)`` — the tenant scopes entries to one registry principal, the
+fingerprint pins the model, the session's state token pins the table
+state, and :func:`canonical` makes structurally equal queries (dict
+ordering, list vs tuple, numpy scalars) collide.
 
 Storage is a :class:`~repro.utils.lru.ByteBudgetLRU` sized by each
 response's JSON-encoded byte length, so operators reason about the
@@ -70,7 +71,11 @@ class ResultCache:
 
     @staticmethod
     def key(
-        fingerprint: str, state: Any, kind: str, params: Mapping[str, Any]
+        fingerprint: str,
+        state: Any,
+        kind: str,
+        params: Mapping[str, Any],
+        tenant: str = "",
     ) -> tuple:
         """Build the canonical cache key for one request.
 
@@ -78,8 +83,14 @@ class ResultCache:
         hash chain advanced by every delta, not a bare counter, so two
         sessions whose update histories diverge can never collide even
         when they share a model, a schema, and a version number.
+
+        ``tenant`` is the registry name the session serves under. It is
+        part of the key because fingerprint + state pin only *content*:
+        two tenants serving the same model over the same table state are
+        still distinct principals, and a shared cache must never hand one
+        tenant a response computed for the other.
         """
-        return (str(fingerprint), str(state), str(kind), canonical(params))
+        return (str(tenant), str(fingerprint), str(state), str(kind), canonical(params))
 
     def get(self, key: tuple) -> Any:
         """Cached response for ``key`` or ``None`` (counts hit/miss)."""
@@ -92,17 +103,19 @@ class ResultCache:
         with self._lock:
             self._lru.put(key, payload, size=size)
 
-    def purge_stale(self, fingerprint: str, current_state: Any) -> int:
-        """Drop entries of ``fingerprint`` not keyed to ``current_state``.
+    def purge_stale(
+        self, fingerprint: str, current_state: Any, tenant: str = ""
+    ) -> int:
+        """Drop the tenant's ``fingerprint`` entries not keyed to ``current_state``.
 
-        Entries for other fingerprints (other sessions sharing the cache)
-        are untouched.  Returns the number of entries dropped.
+        Entries for other tenants or fingerprints (other sessions sharing
+        the cache) are untouched.  Returns the number of entries dropped.
         """
-        fingerprint = str(fingerprint)
+        scope = (str(tenant), str(fingerprint))
         current = str(current_state)
         with self._lock:
             dropped = self._lru.discard_where(
-                lambda k: k[0] == fingerprint and k[1] != current
+                lambda k: k[:2] == scope and k[2] != current
             )
             self._invalidations += dropped
         return dropped

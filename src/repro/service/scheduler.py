@@ -60,6 +60,7 @@ class MicroBatcher:
         self._max_batch = int(max_batch)
         self._queue: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
+        self._flush_lock = threading.Lock()
         self._closed = False
         self._requests = 0
         self._batches = 0
@@ -126,14 +127,23 @@ class MicroBatcher:
     # -- dispatch ----------------------------------------------------------
 
     def flush(self) -> int:
-        """Drain the queue synchronously; returns the number served."""
+        """Drain the queue synchronously; returns the number served.
+
+        Serialized by its own lock: after ``close()`` (e.g. a registry
+        eviction) concurrent callers of :meth:`run` all fall back to
+        inline flushing, and without the lock two of them would execute
+        handler work — and touch the engine — simultaneously.  A waiter
+        whose item was drained by the other flusher simply finds the
+        queue empty and returns.
+        """
         served = 0
-        while True:
-            batch = self._drain(block=False)
-            if not batch:
-                return served
-            self._dispatch(batch)
-            served += len(batch)
+        with self._flush_lock:
+            while True:
+                batch = self._drain(block=False)
+                if not batch:
+                    return served
+                self._dispatch(batch)
+                served += len(batch)
 
     def _drain(self, block: bool) -> list[tuple[str, Any, Future]]:
         """Collect up to ``max_batch`` items, waiting ``window`` once."""

@@ -1,11 +1,20 @@
-"""Stdlib JSON-over-HTTP front end for an :class:`ExplainerSession`.
+"""Stdlib JSON-over-HTTP front end for explainer sessions.
 
 No framework, no dependency: :class:`http.server.ThreadingHTTPServer`
-plus a request handler that maps JSON bodies onto the session's typed
+plus a request handler that maps JSON bodies onto a session's typed
 request objects.  Because every handler thread funnels engine work into
 the session's micro-batcher, concurrent HTTP requests coalesce into
 batched engine passes while cache hits return without touching the
 engine at all.
+
+The server runs in one of two modes (or both at once):
+
+* **single-session** — one :class:`ExplainerSession` behind the classic
+  endpoints,
+* **multi-tenant** — a :class:`~repro.store.registry.Registry` of stored
+  sessions; any path whose first segment names a tenant is served by
+  that tenant's session (lazy-loaded from its snapshot + write-ahead
+  log on first request), and ``/v1/registry/*`` manages the fleet.
 
 Endpoints (all responses are JSON)::
 
@@ -19,15 +28,26 @@ Endpoints (all responses are JSON)::
     POST /v1/scores            {"contrasts": [[values, baselines], ...], "context"?}
     POST /v1/update            {"insert": [row, ...], "delete": [index, ...]}
 
+    GET    /v1/<tenant>/...            any endpoint above, tenant-scoped
+    GET    /v1/registry                tenant listing + load state
+    GET    /v1/registry/<tenant>       snapshots, manifest summary, stats
+    POST   /v1/registry/<tenant>/snapshot   checkpoint now (snapshot + WAL compaction)
+    POST   /v1/registry/<tenant>/evict      unload from memory (state stays on disk)
+    DELETE /v1/registry/<tenant>       remove tenant (snapshots + log)
+
 Client errors (unknown attribute/label, malformed body) return 400 with
-``{"error": ...}``; unsupported conditioning events return 422;
-infeasible recourse returns 409.  Start a server with ``python -m
-repro.cli serve`` or programmatically via :func:`create_server`.
+``{"error": ...}``; unknown tenants/endpoints 404; unsupported
+conditioning events 422; infeasible recourse 409.  Start a server with
+``python -m repro.cli serve`` or programmatically via
+:func:`create_server`; :func:`serve` installs SIGTERM/SIGINT handlers
+that stop accepting, drain in-flight requests, and close the store.
 """
 
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
@@ -46,13 +66,33 @@ from repro.utils.exceptions import (
     DomainError,
     EstimationError,
     RecourseInfeasibleError,
+    StoreError,
 )
 
 MAX_BODY_BYTES = 8 << 20
 
+#: first path segments that can never be tenant names; tenant creation
+#: rejects them (``repro.store.artifacts.RESERVED_TENANT_NAMES`` — keep
+#: the two literals in sync; importing across the packages would cycle)
+RESERVED_SEGMENTS = {
+    "health",
+    "stats",
+    "explain",
+    "recourse",
+    "audit",
+    "scores",
+    "update",
+    "registry",
+    "v1",
+}
+
 
 class BadRequest(ValueError):
     """Malformed request body (HTTP 400)."""
+
+
+class NotFound(LookupError):
+    """Unknown endpoint or tenant (HTTP 404)."""
 
 
 def _opt_tuple(payload: Mapping[str, Any], key: str) -> tuple | None:
@@ -142,20 +182,39 @@ def _build_request(path: str, payload: Mapping[str, Any]):
         if not isinstance(context, Mapping):
             raise BadRequest('"context" must be an object')
         return ScoresRequest(contrasts=tuple(parsed), context=dict(context))
-    raise KeyError(path)
+    raise NotFound(path)
+
+
+class ExplainerHTTPServer(ThreadingHTTPServer):
+    """Threading server that *drains* on close.
+
+    ``daemon_threads`` is off and ``block_on_close`` on, so
+    ``server_close()`` joins every in-flight handler thread: a graceful
+    shutdown answers accepted requests before the process exits.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+
+    #: attached by :func:`create_server`
+    session: ExplainerSession | None = None
+    registry = None
 
 
 class ExplainerRequestHandler(BaseHTTPRequestHandler):
-    """Routes HTTP requests to the attached :class:`ExplainerSession`."""
+    """Routes HTTP requests to a session or a registry tenant."""
 
-    server_version = "repro-explainer/1.0"
+    server_version = "repro-explainer/2.0"
     protocol_version = "HTTP/1.1"
+    #: socket timeout: bounds how long a drained shutdown can wait on an
+    #: idle keep-alive connection.
+    timeout = 30
     #: silence per-request stderr logging unless the server opts in.
     verbose = False
 
     @property
-    def session(self) -> ExplainerSession:
-        return self.server.session  # type: ignore[attr-defined]
+    def registry(self):
+        return self.server.registry  # type: ignore[attr-defined]
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if self.verbose:
@@ -190,41 +249,201 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as exc:
             raise BadRequest(f"invalid JSON body: {exc}") from exc
 
+    # -- routing -----------------------------------------------------------
+
+    def _segments(self) -> list[str]:
+        parts = [p for p in self.path.split("/") if p]
+        if parts and parts[0] == "v1":
+            parts = parts[1:]
+        return parts
+
+    def _resolve(self) -> tuple[ExplainerSession, str]:
+        """Map the request path to (session, canonical ``/v1/...`` subpath).
+
+        A first segment outside the reserved route names addresses a
+        registry tenant; everything else goes to the server's default
+        session (404 when the server is registry-only).
+        """
+        parts = self._segments()
+        if not parts:
+            raise NotFound(self.path)
+        if parts[0] not in RESERVED_SEGMENTS:
+            if self.registry is None:
+                raise NotFound(f"unknown endpoint {self.path!r}")
+            tenant, parts = parts[0], parts[1:]
+            if not parts:
+                raise NotFound(f"missing endpoint after tenant {tenant!r}")
+            try:
+                session = self.registry.get(tenant)
+            except StoreError as exc:
+                raise NotFound(str(exc)) from exc
+            return session, "/v1/" + "/".join(parts)
+        session = self.server.session  # type: ignore[attr-defined]
+        if session is None:
+            raise NotFound(
+                f"no default session; address a tenant, e.g. /v1/<name>{self.path}"
+            )
+        return session, "/v1/" + "/".join(parts)
+
+    # -- registry endpoints ------------------------------------------------
+
+    def _registry_get(self, parts: list[str]) -> dict:
+        registry = self.registry
+        if registry is None:
+            raise NotFound("this server has no registry")
+        if len(parts) == 1:
+            loaded = set(registry.loaded())
+            return {
+                "tenants": {
+                    name: {
+                        "loaded": name in loaded,
+                        "snapshots": len(registry.store.snapshots(name)),
+                    }
+                    for name in registry.names()
+                },
+            }
+        if len(parts) == 2:
+            name = parts[1]
+            try:
+                manifest = registry.store.manifest(name)
+            except StoreError as exc:
+                raise NotFound(str(exc)) from exc
+            loaded = name in registry.loaded()
+            return {
+                "name": name,
+                "loaded": loaded,
+                "snapshots": registry.store.snapshots(name),
+                "latest": {
+                    "snapshot_id": manifest["snapshot_id"],
+                    "wal_seq": manifest["wal_seq"],
+                    "fingerprint": manifest["session"]["fingerprint"],
+                    "n_rows": manifest["session"]["n_rows"],
+                },
+            }
+        raise NotFound(self.path)
+
+    def _registry_post(self, parts: list[str]) -> dict:
+        registry = self.registry
+        if registry is None or len(parts) != 3:
+            raise NotFound(self.path)
+        name, action = parts[1], parts[2]
+        try:
+            if action == "snapshot":
+                manifest = registry.snapshot(name)
+                return {
+                    "name": name,
+                    "snapshot_id": manifest["snapshot_id"],
+                    "wal_seq": manifest["wal_seq"],
+                }
+            if action == "evict":
+                return {"name": name, "evicted": registry.evict(name)}
+        except StoreError as exc:
+            raise NotFound(str(exc)) from exc
+        raise NotFound(self.path)
+
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        session = self.session
-        if self.path in ("/v1/health", "/health"):
+        try:
+            parts = self._segments()
+            if parts and parts[0] == "registry":
+                self._send_json(200, self._registry_get(parts))
+                return
+            # A registry-only server still needs process-level liveness:
+            # /v1/health must answer without forcing any tenant to load.
+            if (
+                self.server.session is None  # type: ignore[attr-defined]
+                and self.registry is not None
+                and parts in (["health"], ["stats"])
+            ):
+                if parts == ["health"]:
+                    self._send_json(
+                        200,
+                        {
+                            "status": "ok",
+                            "mode": "registry",
+                            "tenants": len(self.registry.names()),
+                            "loaded": self.registry.loaded(),
+                        },
+                    )
+                else:
+                    self._send_json(200, self.registry.stats())
+                return
+            session, sub = self._resolve()
+            if sub == "/v1/health":
+                self._send_json(
+                    200,
+                    {
+                        "status": "ok",
+                        "tenant": session.tenant,
+                        "fingerprint": session.fingerprint,
+                        "table_version": session.table_version,
+                        "n_rows": len(session.lewis.data),
+                    },
+                )
+            elif sub == "/v1/stats":
+                self._send_json(200, session.stats())
+            else:
+                raise NotFound(f"unknown endpoint {self.path!r}")
+        except NotFound as exc:
+            self._send_json(404, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - internal defects -> 500
             self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "fingerprint": session.fingerprint,
-                    "table_version": session.table_version,
-                    "n_rows": len(session.lewis.data),
-                },
+                500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
             )
-        elif self.path in ("/v1/stats", "/stats"):
-            self._send_json(200, session.stats())
-        else:
-            self._send_json(404, {"error": f"unknown endpoint {self.path!r}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        try:
+            self._read_body()  # drain so keep-alive stays in sync
+            parts = self._segments()
+            registry = self.registry
+            if registry is None or len(parts) != 2 or parts[0] != "registry":
+                self._send_json(404, {"error": f"unknown endpoint {self.path!r}"})
+                return
+            removed = registry.remove(parts[1])
+        except (BadRequest, ValueError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        except StoreError as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
+        except Exception as exc:  # noqa: BLE001 - internal defects -> 500
+            self._send_json(
+                500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+            )
+            return
+        self._send_json(200, {"name": parts[1], "removed": removed})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        session = self.session
         started = time.perf_counter()
         try:
+            parts = self._segments()
+            if parts and parts[0] == "registry":
+                self._read_body()  # drain the body so keep-alive stays in sync
+                self._send_json(200, self._registry_post(parts))
+                return
+            session, sub = self._resolve()
             payload = self._read_body()
-            if self.path == "/v1/update":
-                response = session.update(TableDelta.from_json(payload))
-            else:
-                try:
-                    request = _build_request(self.path, payload)
-                except KeyError:
-                    self._send_json(
-                        404, {"error": f"unknown endpoint {self.path!r}"}
-                    )
-                    return
-                response = session.handle(request)
+
+            def dispatch(target):
+                if sub == "/v1/update":
+                    return target.update(TableDelta.from_json(payload))
+                return target.handle(_build_request(sub, payload))
+
+            try:
+                response = dispatch(session)
+            except StoreError as exc:
+                # The session may have been evicted (log sealed) between
+                # resolution and dispatch; one re-resolve gets the
+                # tenant's freshly restored session instead of bouncing
+                # a valid request back to the client.
+                if "sealed" not in str(exc) or self.registry is None:
+                    raise
+                session, sub = self._resolve()
+                response = dispatch(session)
+        except NotFound as exc:
+            self._send_json(404, {"error": str(exc)})
+            return
         except (BadRequest, DomainError, ValueError) as exc:
             # ValueError is the library's client-error convention
             # (malformed deltas, bad selectors, missing actionables).
@@ -242,6 +461,11 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
         except EstimationError as exc:
             self._send_json(422, {"error": f"unsupported conditioning event: {exc}"})
             return
+        except StoreError as exc:
+            # transient persistence-layer contention (e.g. racing an
+            # eviction): the request is valid, a retry will succeed
+            self._send_json(503, {"error": f"store busy: {exc}"})
+            return
         except Exception as exc:  # noqa: BLE001 - internal defects -> 500
             self._send_json(
                 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
@@ -253,41 +477,82 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
 
 
 def create_server(
-    session: ExplainerSession,
+    session: ExplainerSession | None = None,
     host: str = "127.0.0.1",
     port: int = 8321,
     verbose: bool = False,
-) -> ThreadingHTTPServer:
-    """Bind a threading HTTP server to ``session`` (``port=0`` auto-picks).
+    registry=None,
+) -> ExplainerHTTPServer:
+    """Bind a threading HTTP server to a session and/or a registry.
 
-    The caller owns the lifecycle: ``serve_forever()`` to block,
-    ``shutdown()`` + ``server_close()`` to stop (and close the session).
+    ``port=0`` auto-picks. The caller owns the lifecycle:
+    ``serve_forever()`` to block, ``shutdown()`` + ``server_close()`` to
+    stop (``server_close`` drains in-flight handler threads), then close
+    the session/registry.
     """
+    if session is None and registry is None:
+        raise ValueError("create_server needs a session, a registry, or both")
     handler = type(
         "BoundHandler", (ExplainerRequestHandler,), {"verbose": verbose}
     )
     # Handler threads are only safe against a running dispatch lane —
     # without it each thread would execute engine work inline.
-    session.start_background()
-    server = ThreadingHTTPServer((host, port), handler)
-    server.session = session  # type: ignore[attr-defined]
+    if session is not None:
+        session.start_background()
+    if registry is not None:
+        registry.ensure_background()
+    server = ExplainerHTTPServer((host, port), handler)
+    server.session = session
+    server.registry = registry
     return server
 
 
 def serve(
-    session: ExplainerSession,
+    session: ExplainerSession | None = None,
     host: str = "127.0.0.1",
     port: int = 8321,
     verbose: bool = False,
+    registry=None,
+    checkpoint_on_close: bool = True,
 ) -> None:
-    """Serve ``session`` until interrupted (the CLI entry point)."""
-    server = create_server(session, host=host, port=port, verbose=verbose)
+    """Serve until interrupted, then shut down gracefully (CLI entry point).
+
+    SIGTERM and SIGINT trigger the same sequence: stop accepting, drain
+    in-flight requests, close the session, and close the store —
+    checkpointing every loaded tenant (snapshot + WAL compaction) when
+    ``checkpoint_on_close`` is set, so the next boot is warm.
+    """
+    server = create_server(
+        session, host=host, port=port, verbose=verbose, registry=registry
+    )
     bound = server.server_address
     print(f"explanation service listening on http://{bound[0]}:{bound[1]}")
+
+    draining = threading.Event()
+
+    def _graceful(signum, frame):
+        if draining.is_set():
+            return
+        draining.set()
+        print(f"received {signal.Signals(signum).name}; draining and closing store")
+        # shutdown() blocks until serve_forever exits; a signal handler
+        # runs *inside* that loop's thread, so hand it to a helper.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous: dict[int, Any] = {}
+    in_main = threading.current_thread() is threading.main_thread()
+    if in_main:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, _graceful)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
-        session.close()
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        server.server_close()  # joins in-flight handler threads
+        if session is not None:
+            session.close()
+        if registry is not None:
+            registry.close(checkpoint=checkpoint_on_close)

@@ -332,6 +332,11 @@ class ExplainerSession:
         inline — results are identical.
     batch_window / max_batch:
         Coalescing knobs forwarded to :class:`MicroBatcher`.
+    tenant:
+        Registry name this session serves under. Scopes every cache key,
+        so tenants sharing a :class:`ResultCache` — even ones serving an
+        identical (model, table state) pair — can never cross-serve each
+        other's responses. Empty for single-session deployments.
     """
 
     def __init__(
@@ -342,8 +347,10 @@ class ExplainerSession:
         background: bool = False,
         batch_window: float = 0.002,
         max_batch: int = 64,
+        tenant: str = "",
     ):
         self.lewis = lewis
+        self.tenant = str(tenant)
         self.cache = cache if cache is not None else ResultCache()
         self.default_actionable = (
             list(default_actionable) if default_actionable else None
@@ -439,7 +446,9 @@ class ExplainerSession:
         params = request.params()
         if request.cacheable:
             state = self._state
-            key = ResultCache.key(self.fingerprint, state, kind, params)
+            key = ResultCache.key(
+                self.fingerprint, state, kind, params, tenant=self.tenant
+            )
             with self._cache_lock:
                 hit = self.cache.get(key)
             if hit is not None:
@@ -502,7 +511,9 @@ class ExplainerSession:
             delta = TableDelta.from_json(delta)
         response = self._batcher.run("update", UpdateRequest(delta=delta))
         with self._cache_lock:
-            purged = self.cache.purge_stale(self.fingerprint, self._state)
+            purged = self.cache.purge_stale(
+                self.fingerprint, self._state, tenant=self.tenant
+            )
         response["purged"] = purged
         self._served += 1
         return {"kind": "update", "cached": False, "result": response}
@@ -654,6 +665,7 @@ class ExplainerSession:
     def stats(self) -> dict:
         """Aggregate session / cache / engine / scheduler statistics."""
         return {
+            "tenant": self.tenant,
             "fingerprint": self.fingerprint,
             "table_version": self.table_version,
             "state_token": self._state,

@@ -1,0 +1,365 @@
+"""Write-ahead delta log and the durable session that writes through it.
+
+Snapshots capture expensive standing state (model, encoded table, count
+tensors); the write-ahead log captures everything *since* the snapshot
+as a sequence of cheap :class:`~repro.service.updates.TableDelta`
+records.  Recovery is the classic pairing: load the latest snapshot,
+replay the log tail — the same shape as incremental view maintenance
+under updates (Berkholz et al., see PAPERS.md), where the delta stream
+is the compact representation of change.
+
+:class:`DeltaLog` is an append-only JSONL file.  Each record carries a
+monotone sequence number and a content digest; ``append`` flushes and
+fsyncs before returning, so an acknowledged update survives a crash.
+Recovery tolerates exactly one *torn tail* (an unterminated partial
+final line from a crash mid-write, which is truncated away on open) but
+refuses corruption anywhere else — a bad newline-terminated record,
+even in final position, is damage to acknowledged data, and replaying
+around it would silently diverge.
+
+:class:`DurableSession` wraps :class:`~repro.service.session
+.ExplainerSession` with write-*ahead* semantics: an update is validated
+against the live schema, appended to the log, and only then applied to
+the engine.  The crash window is therefore safe in both directions — a
+logged-but-unapplied delta is replayed on restore, and an unlogged delta
+was never acknowledged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.service.session import ExplainerSession, jsonable
+from repro.service.updates import TableDelta
+from repro.utils.exceptions import StoreError
+
+
+def _record_digest(core: Mapping[str, Any]) -> str:
+    payload = json.dumps(core, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
+
+
+def _record_core(seq: int, delta: TableDelta) -> dict:
+    """The JSON form of one record — portable values only.
+
+    Numpy scalars collapse to their Python equivalents (the session
+    encodes both spellings to the same codes, so replay is faithful).
+    Values JSON cannot represent surface as a :class:`StoreError` from
+    :func:`_record_line` *before* the record is acknowledged — a silent
+    ``str()`` coercion here would replay as a different value than the
+    live session applied.
+    """
+    return {
+        "seq": seq,
+        "insert": jsonable([dict(row) for row in delta.insert]),
+        "delete": [int(index) for index in delta.delete],
+    }
+
+
+def _record_line(core: Mapping[str, Any]) -> bytes:
+    """Serialize one record (digest included) to its on-disk line."""
+    try:
+        crc = _record_digest(core)
+    except (TypeError, ValueError) as exc:
+        raise StoreError(
+            f"delta contains values JSON cannot represent faithfully: {exc}"
+        ) from exc
+    record = dict(core)
+    record["crc"] = crc
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+class DeltaLog:
+    """Append-only, fsync'd JSONL write-ahead log of table deltas.
+
+    Parameters
+    ----------
+    path:
+        Log file location (created on first append). One log per tenant;
+        :meth:`ArtifactStore.wal_path` hands out the conventional path.
+    fsync:
+        Fsync after every append (the durability guarantee). Disable
+        only in benchmarks that measure everything-but-the-disk.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True):
+        self.path = Path(path)
+        self._fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._fh = None
+        self._sealed = False
+        self._appended = 0
+        records, valid_bytes, total_bytes = self._scan()
+        self._last_seq = records[-1][0] if records else 0
+        self._records = len(records)
+        if valid_bytes < total_bytes:
+            # torn tail from a crash mid-append: the record was never
+            # acknowledged, so truncating it is the correct recovery.
+            with open(self.path, "ab") as fh:
+                fh.truncate(valid_bytes)
+
+    # -- reading -----------------------------------------------------------
+
+    def _scan(self) -> tuple[list[tuple[int, TableDelta]], int, int]:
+        """Parse the log; returns (records, valid byte length, total bytes)."""
+        if not self.path.exists():
+            return [], 0, 0
+        raw = self.path.read_bytes()
+        records: list[tuple[int, TableDelta]] = []
+        offset = 0
+        last_seq = 0
+        # Only newline-terminated lines are records. append() fsyncs the
+        # record *and* its newline in one write before acknowledging, so
+        # an unterminated final chunk — even one that happens to parse as
+        # complete JSON — is an unacknowledged torn write: parsing it
+        # would let the next append concatenate onto the same line and a
+        # later recovery destroy both records.
+        *terminated, tail = raw.split(b"\n")
+        for line in terminated:
+            chunk = len(line) + 1  # + the newline
+            stripped = line.strip()
+            if not stripped:
+                offset += chunk
+                continue
+            try:
+                record = json.loads(stripped)
+                core = {
+                    "seq": record["seq"],
+                    "insert": record["insert"],
+                    "delete": record["delete"],
+                }
+                ok = record.get("crc") == _record_digest(core)
+                seq = int(record["seq"])
+            except (ValueError, KeyError, TypeError):
+                ok = False
+                seq = -1
+            if not ok or seq <= last_seq:
+                # A terminated line can never be a torn write — the
+                # newline is the last byte of the single append write,
+                # so a bad-but-complete record is *corruption of
+                # acknowledged data* (even in final position) and must
+                # refuse recovery rather than silently drop the record.
+                raise StoreError(
+                    f"corrupt WAL record at byte {offset} of {self.path}; "
+                    "refusing to replay an unreliable history"
+                )
+            records.append(
+                (seq, TableDelta(insert=tuple(core["insert"]), delete=tuple(core["delete"])))
+            )
+            last_seq = seq
+            offset += chunk
+        # `offset` == bytes through the last terminated line; a non-empty
+        # `tail` beyond it is the torn write the caller truncates.
+        assert offset + len(tail) == len(raw)
+        return records, offset, len(raw)
+
+    def replay(self, after: int = 0) -> list[tuple[int, TableDelta]]:
+        """Records with sequence number greater than ``after``, in order."""
+        with self._lock:
+            records, _valid, _total = self._scan()
+        return [(seq, delta) for seq, delta in records if seq > after]
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the most recent acknowledged record."""
+        return self._last_seq
+
+    def ensure_floor(self, seq: int) -> None:
+        """Raise the sequence floor to at least ``seq``.
+
+        After checkpoint compaction the log file alone no longer knows
+        how far numbering has advanced (the prefix is gone); the snapshot
+        manifest does. Recovery calls this with the manifest's
+        ``wal_seq`` so post-restore appends continue the sequence instead
+        of reusing numbers the manifest already covers.
+        """
+        with self._lock:
+            self._last_seq = max(self._last_seq, int(seq))
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, delta: TableDelta) -> int:
+        """Durably append one delta; returns its sequence number.
+
+        The record is on disk (flushed + fsynced) before this returns —
+        the write-ahead guarantee the durable session relies on.
+        """
+        with self._lock:
+            if self._sealed:
+                raise StoreError(
+                    f"write-ahead log {self.path} is sealed (the session was "
+                    "evicted); re-fetch the tenant from the registry"
+                )
+            seq = self._last_seq + 1
+            line = _record_line(_record_core(seq, delta))
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                created = not self.path.exists()
+                self._fh = open(self.path, "ab")
+                if created:
+                    # the record's durability includes the file's own
+                    # directory entry — fsync the parent once at creation
+                    from repro.store.artifacts import _fsync_dir
+
+                    _fsync_dir(self.path.parent)
+            self._fh.write(line)
+            self._fh.flush()
+            if self._fsync:
+                os.fsync(self._fh.fileno())
+            self._last_seq = seq
+            self._records += 1
+            self._appended += 1
+            return seq
+
+    def truncate_through(self, seq: int) -> int:
+        """Checkpoint compaction: drop records with sequence <= ``seq``.
+
+        Called after a snapshot captures the state through ``seq`` — the
+        dropped prefix is redundant with the snapshot. The tail is
+        rewritten atomically (temp file + rename); sequence numbers keep
+        counting from where they were. Returns how many records remain.
+        """
+        with self._lock:
+            records, _valid, _total = self._scan()
+            keep = [(s, d) for s, d in records if s > seq]
+            if len(keep) == len(records):
+                return len(keep)
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            tmp = self.path.with_name(self.path.name + ".compact")
+            with open(tmp, "wb") as fh:
+                for s, delta in keep:
+                    fh.write(_record_line(_record_core(s, delta)))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._records = len(keep)
+            return len(keep)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the append handle (reads still work; appends reopen)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def seal(self) -> None:
+        """Permanently refuse further appends through this instance.
+
+        Eviction hands the log file to the *next* restore of the tenant;
+        sealing (after waiting out any in-flight append — the lock is
+        held for the full append) guarantees a stale session reference
+        can never interleave duplicate sequence numbers into a file now
+        owned by a newer session. Reads still work.
+        """
+        with self._lock:
+            self._sealed = True
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "DeltaLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Log counters: size on disk, record count, last sequence."""
+        return {
+            "path": str(self.path),
+            "last_seq": self._last_seq,
+            "records": self._records,
+            "appended": self._appended,
+            "bytes": self.path.stat().st_size if self.path.exists() else 0,
+            "fsync": self._fsync,
+        }
+
+
+class DurableSession(ExplainerSession):
+    """An explainer session whose updates are write-ahead logged.
+
+    Construction mirrors :class:`ExplainerSession` plus ``log``, the
+    :class:`DeltaLog` updates write through.  Every accepted update is on
+    disk before it touches the engine, so a session restored from the
+    latest snapshot plus the log tail reproduces this session's state
+    bit for bit (see :func:`repro.store.snapshot.restore_session`).
+    """
+
+    def __init__(self, lewis, log: DeltaLog, **kwargs):
+        super().__init__(lewis, **kwargs)
+        self.log = log
+        self._wal_lock = threading.Lock()
+
+    @property
+    def update_lock(self) -> threading.Lock:
+        """Lock held for the full validate → log → apply of every update.
+
+        Snapshots acquire it so a checkpoint can never capture a torn
+        mid-update state, or record a ``wal_seq`` whose delta the
+        serialized table does not yet reflect (which compaction would
+        then silently drop).
+        """
+        return self._wal_lock
+
+    def update(self, delta: TableDelta | Mapping[str, Any]) -> dict:
+        """Validate, write-ahead log, then apply one delta.
+
+        Validation (schema coverage, domain membership, delete bounds)
+        happens *before* the append so the log only ever contains deltas
+        that will apply cleanly on replay. The lock serializes loggers so
+        log order is apply order.
+        """
+        if not isinstance(delta, TableDelta):
+            delta = TableDelta.from_json(delta)
+        with self._wal_lock:
+            self._validate(delta)
+            seq = self.log.append(delta) if not delta.is_empty else self.log.last_seq
+            response = super().update(delta)
+        response["result"]["wal_seq"] = seq
+        return response
+
+    def _validate(self, delta: TableDelta) -> None:
+        if delta.insert:
+            # encodes against live domains; DomainError on unknown labels
+            self.lewis.data.encode_rows(list(delta.insert))
+        n = len(self.lewis.data)
+        for index in delta.delete:
+            if not 0 <= int(index) < n:
+                raise IndexError(f"delete index {index} outside [0, {n})")
+
+    def apply_logged(self, delta: TableDelta | Mapping[str, Any]) -> dict:
+        """Apply a delta that is already in the log (recovery replay)."""
+        return ExplainerSession.update(self, delta)
+
+    def retire(self) -> None:
+        """Eviction teardown: stop threads and *seal* the log.
+
+        A retired session still answers read requests held by in-flight
+        callers (inline dispatch), but any late ``update`` through a
+        stale reference fails loudly instead of appending to a log whose
+        ownership has passed to the tenant's next restored session.
+        """
+        super().close()
+        self.log.seal()
+
+    def close(self) -> None:
+        """Stop the dispatch thread and release the log handle."""
+        super().close()
+        self.log.close()
+
+    def stats(self) -> dict:
+        """Session statistics plus the write-ahead log counters."""
+        out = super().stats()
+        out["wal"] = self.log.stats()
+        return out

@@ -28,3 +28,8 @@ class RecourseInfeasibleError(ReproError, RuntimeError):
 
 class NotFittedError(ReproError, RuntimeError):
     """An estimator was used before ``fit`` was called."""
+
+
+class StoreError(ReproError, RuntimeError):
+    """A persistence operation failed (missing artifact, corrupt log,
+    snapshot/table mismatch, unknown tenant)."""

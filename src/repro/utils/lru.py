@@ -44,6 +44,12 @@ class ByteBudgetLRU:
     sizeof:
         ``sizeof(value) -> int`` used when :meth:`put` is not given an
         explicit size. Defaults to ``value.nbytes`` / ``len(value)``.
+    on_evict:
+        Optional ``on_evict(key, value)`` hook invoked for every entry
+        the budget pushes out (not for explicit :meth:`discard` /
+        :meth:`clear`). Lets owners of stateful values — e.g. a session
+        registry evicting live explainer sessions — release resources
+        exactly when the LRU lets go of them.
     """
 
     def __init__(
@@ -51,6 +57,7 @@ class ByteBudgetLRU:
         max_bytes: int | None = None,
         max_entries: int | None = None,
         sizeof: Callable[[Any], int] | None = None,
+        on_evict: Callable[[Hashable, Any], None] | None = None,
     ):
         if max_bytes is not None and max_bytes < 0:
             raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
@@ -59,6 +66,7 @@ class ByteBudgetLRU:
         self.max_bytes = max_bytes
         self.max_entries = max_entries
         self._sizeof = sizeof or _default_sizeof
+        self._on_evict = on_evict
         self._items: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
         self._bytes = 0
         self._hits = 0
@@ -130,9 +138,11 @@ class ByteBudgetLRU:
             (self.max_bytes is not None and self._bytes > self.max_bytes)
             or (self.max_entries is not None and len(self._items) > self.max_entries)
         ):
-            _key, (_value, size) = self._items.popitem(last=False)
+            key, (value, size) = self._items.popitem(last=False)
             self._bytes -= size
             self._evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(key, value)
 
     # -- introspection -----------------------------------------------------
 
