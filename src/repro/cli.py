@@ -32,6 +32,7 @@ from repro.report import (
     render_global,
     render_local,
     render_recourse,
+    render_recourse_audit,
     render_scores_table,
     render_service_stats,
 )
@@ -83,8 +84,43 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def _cohort_indices(args, lewis) -> list[int] | None:
+    """Resolve the ``--indices`` / ``--cohort`` cohort-mode selectors.
+
+    ``--indices`` names explicit rows; ``--cohort N`` takes the first N
+    rows of the requested outcome pool (negative rows by default for
+    ``recourse``, via ``--negative`` for ``local``).  Returns ``None``
+    when neither flag was given (single-row mode).
+    """
+    if getattr(args, "indices", None) is not None:
+        return [int(i) for i in args.indices]
+    if getattr(args, "cohort", None) is not None:
+        if args.cohort < 1:
+            raise SystemExit(f"--cohort must be >= 1, got {args.cohort}")
+        negative = getattr(args, "negative", True)
+        pool = lewis.negative_indices() if negative else lewis.positive_indices()
+        return [int(i) for i in pool[: args.cohort]]
+    return None
+
+
 def cmd_local(args) -> int:
     bundle, _model, lewis = _build_explainer(args)
+    cohort = _cohort_indices(args, lewis)
+    if cohort is not None:
+        if not cohort:
+            print("no individual with the requested outcome", file=sys.stderr)
+            return 1
+        explanations = lewis.explain_local_batch(cohort)
+        print(
+            f"{args.dataset}: local explanations for {len(cohort)} rows "
+            f"(vectorized cohort path)"
+        )
+        for index, explanation in zip(cohort, explanations):
+            outcome = "positive" if explanation.outcome_positive else "negative"
+            top = explanation.statements(top=1)
+            detail = top[0] if top else "(no contrastive statement)"
+            print(f"row {index:5d} [{outcome}]: {detail}")
+        return 0
     index = args.index
     if index is None:
         pool = lewis.negative_indices() if args.negative else lewis.positive_indices()
@@ -105,6 +141,19 @@ def cmd_recourse(args) -> int:
     if not actionable:
         print(f"{args.dataset} has no actionable attributes", file=sys.stderr)
         return 1
+    cohort = _cohort_indices(args, lewis)
+    if cohort is not None:
+        audit = lewis.recourse_audit(actionable, alpha=args.alpha, indices=cohort)
+        print(
+            render_recourse_audit(
+                audit,
+                title=(
+                    f"{args.dataset}: recourse audit over {len(cohort)} rows "
+                    f"(deduplicated batch IP path)"
+                ),
+            )
+        )
+        return 0
     index = args.index
     if index is None:
         index = int(lewis.negative_indices()[0])
@@ -323,19 +372,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_explain.add_argument("--chart", action="store_true", help="bar chart output")
     p_explain.set_defaults(func=cmd_explain)
 
-    p_local = sub.add_parser("local", help="local explanation for one row")
+    def cohort_flags(p):
+        p.add_argument(
+            "--indices",
+            nargs="+",
+            type=int,
+            default=None,
+            metavar="ROW",
+            help="cohort mode: explain/audit these row indices in one batch",
+        )
+        p.add_argument(
+            "--cohort",
+            type=int,
+            default=None,
+            metavar="N",
+            help="cohort mode: take the first N rows of the outcome pool",
+        )
+
+    p_local = sub.add_parser(
+        "local", help="local explanation for one row or a cohort"
+    )
     common(p_local)
     p_local.add_argument("--index", type=int, default=None)
     p_local.add_argument(
         "--negative", action="store_true", help="pick a negative-outcome row"
     )
+    cohort_flags(p_local)
     p_local.set_defaults(func=cmd_local)
 
-    p_recourse = sub.add_parser("recourse", help="actionable recourse for one row")
+    p_recourse = sub.add_parser(
+        "recourse", help="actionable recourse for one row or a cohort audit"
+    )
     common(p_recourse)
     p_recourse.add_argument("--index", type=int, default=None)
     p_recourse.add_argument("--alpha", type=float, default=0.7)
     p_recourse.add_argument("--actionable", nargs="*", default=None)
+    cohort_flags(p_recourse)
     p_recourse.set_defaults(func=cmd_recourse)
 
     p_audit = sub.add_parser("audit", help="counterfactual-fairness audit")

@@ -14,13 +14,15 @@ This package implements the paper's contribution (Sections 3–4):
   tying everything together.
 """
 
-from repro.core.scores import ScoreEstimator, ScoreTriple
+from repro.core.scores import LocalScoreArrays, ScoreEstimator, ScoreTriple
 from repro.core.bounds import ScoreBounds, BoundsEstimator
 from repro.core.explanations import (
     AttributeScore,
     GlobalExplanation,
     LocalContribution,
     LocalExplanation,
+    build_local_explanation,
+    build_local_explanations_batch,
 )
 from repro.core.recourse import Recourse, RecourseAction, RecourseSolver, unit_step_cost
 from repro.core.ordering import infer_value_order
@@ -31,8 +33,11 @@ from repro.core.gaming import GamingReport, audit_recourse_gaming
 from repro.core.lewis import Lewis
 
 __all__ = [
+    "LocalScoreArrays",
     "ScoreEstimator",
     "ScoreTriple",
+    "build_local_explanation",
+    "build_local_explanations_batch",
     "ScoreBounds",
     "BoundsEstimator",
     "AttributeScore",

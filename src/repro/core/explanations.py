@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.scores import ScoreEstimator
 
 SCORE_KEYS = ("necessity", "sufficiency", "necessity_sufficiency")
@@ -277,6 +279,7 @@ def build_local_explanation(
     row_codes: Mapping[str, int],
     outcome_positive: bool,
     attributes: Sequence[str],
+    batched: bool = True,
 ) -> LocalExplanation:
     """Contributions of each attribute value for one individual.
 
@@ -286,7 +289,16 @@ def build_local_explanation(
     ``max_{x'' < x'} SUF^{x''}_{x'}(k)``; for a *positive* outcome the
     positive contribution is ``max_{x'' < x'} NEC^{x''}_{x'}(k)`` and the
     negative contribution ``max_{x > x'} NEC^{x'}_x(k)``.
+
+    The default path is the ``N = 1`` case of
+    :func:`build_local_explanations_batch`; ``batched=False`` keeps the
+    historical attributes × value-pairs × 2-probes scalar loop (used by
+    benchmarks and parity tests) — both produce identical explanations.
     """
+    if batched:
+        return build_local_explanations_batch(
+            estimator, [row_codes], [outcome_positive], attributes
+        )[0]
     table = estimator.table
     contributions: list[LocalContribution] = []
     for attribute in attributes:
@@ -345,3 +357,95 @@ def build_local_explanation(
         outcome_positive=bool(outcome_positive),
         contributions=contributions,
     )
+
+
+def _masked_best(
+    scores: np.ndarray, mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise (max, first argmax) of ``scores`` restricted to ``mask``.
+
+    Mirrors the scalar loop's tie-breaking: candidates are scanned in
+    ascending code order and only a *strictly* greater score replaces
+    the incumbent, so the reported foil is the lowest code achieving the
+    maximum.  Rows with no candidate (empty mask) report ``-inf``.
+    """
+    masked = np.where(mask, scores, -np.inf)
+    return masked.max(axis=1), masked.argmax(axis=1)
+
+
+def build_local_explanations_batch(
+    estimator: ScoreEstimator,
+    rows_codes: Sequence[Mapping[str, int]],
+    outcomes_positive: Sequence[bool] | np.ndarray,
+    attributes: Sequence[str],
+) -> list[LocalExplanation]:
+    """Local explanations for a whole cohort in a few matrix passes.
+
+    The scalar path costs ``attributes × value-pairs × 2`` regression
+    probes *per individual*; here the entire cohort's probes are
+    assembled, deduplicated and answered through
+    :meth:`ScoreEstimator.local_score_arrays` (one fitted model and one
+    matrix pass per attribute group), and the four max-formulas of
+    Section 3.2 reduce to masked row-wise maxima.  Results are
+    identical to ``[build_local_explanation(...) for each row]``.
+    """
+    rows_codes = list(rows_codes)
+    positives = np.asarray(outcomes_positive, dtype=bool)
+    if len(positives) != len(rows_codes):
+        raise ValueError("outcomes_positive must align with rows_codes")
+    table = estimator.table
+    n = len(rows_codes)
+    if n == 0:
+        return []
+    arrays = estimator.local_score_arrays(rows_codes, attributes)
+    per_attribute: dict[str, list[LocalContribution]] = {}
+    for attribute in attributes:
+        scores = arrays[attribute]
+        categories = table.column(attribute).categories
+        card = scores.cardinality
+        values = np.arange(card)
+        lower = values[None, :] < scores.current[:, None]
+        higher = values[None, :] > scores.current[:, None]
+        # Positive-outcome rows read the necessity arrays, negative-
+        # outcome rows the sufficiency arrays (Section 3.2).
+        chosen = np.where(
+            positives[:, None], scores.necessity, scores.sufficiency
+        )
+        best_pos, foil_pos = _masked_best(chosen, lower)
+        best_neg, foil_neg = _masked_best(chosen, higher)
+        # Pull everything into plain-Python lists once: the assembly
+        # loop below runs n times per attribute, and per-element numpy
+        # scalar access would dominate the whole batch at cohort scale.
+        per_attribute[attribute] = [
+            LocalContribution(
+                attribute,
+                categories[c],
+                p if p > 0.0 else 0.0,
+                g if g > 0.0 else 0.0,
+                categories[gf] if g > 0.0 else None,
+                categories[pf] if p > 0.0 else None,
+            )
+            for c, p, g, pf, gf in zip(
+                scores.current.tolist(),
+                best_pos.tolist(),
+                best_neg.tolist(),
+                foil_pos.tolist(),
+                foil_neg.tolist(),
+            )
+        ]
+    categories_of = {name: table.column(name).categories for name in table.names}
+    out = []
+    for i, row_codes in enumerate(rows_codes):
+        individual = {
+            name: categories_of[name][int(code)]
+            for name, code in row_codes.items()
+            if name in categories_of
+        }
+        out.append(
+            LocalExplanation(
+                individual=individual,
+                outcome_positive=bool(positives[i]),
+                contributions=[per_attribute[a][i] for a in attributes],
+            )
+        )
+    return out

@@ -25,6 +25,7 @@ from repro.core.explanations import (
     LocalExplanation,
     build_global_explanation,
     build_local_explanation,
+    build_local_explanations_batch,
 )
 from repro.core.ordering import order_table_attributes
 from repro.core.recourse import CostFn, Recourse, RecourseSolver
@@ -32,6 +33,7 @@ from repro.core.scores import ScoreEstimator, ScoreTriple
 from repro.data.table import Table
 from repro.estimation.adjustment import adjusted_probability
 from repro.models.pipeline import TableModel
+from repro.utils.lru import ByteBudgetLRU
 
 
 class Lewis:
@@ -135,7 +137,15 @@ class Lewis:
             self._positive = np.asarray(self.predict_positive(table), dtype=bool)
         self.estimator = ScoreEstimator(table, self._positive, diagram=graph)
         self.bounds_estimator = BoundsEstimator(self.estimator)
-        self._recourse_solvers: dict[tuple, RecourseSolver] = {}
+        #: cached solvers as ``key -> (table_version, solver)``; a version
+        #: mismatch at lookup time drops the entry, so a solver fitted on
+        #: pre-update rows can never serve stale logit coefficients even
+        #: when the estimator was updated behind this facade's back.
+        #: LRU-bounded because ``cost_fn`` keys on object identity — a
+        #: caller passing per-request lambdas must not grow it unboundedly.
+        self._recourse_solvers: ByteBudgetLRU = ByteBudgetLRU(
+            max_bytes=None, max_entries=16
+        )
 
     # -- black-box plumbing ---------------------------------------------------
 
@@ -490,7 +500,47 @@ class Lewis:
             list(attributes or self.attributes),
         )
 
+    def explain_local_batch(
+        self,
+        indices: Sequence[int],
+        attributes: Sequence[str] | None = None,
+    ) -> list[LocalExplanation]:
+        """Local explanations for a cohort of rows in a few matrix passes.
+
+        Equivalent to ``[self.explain_local(index=i) for i in indices]``
+        but the whole cohort's regression probes are deduplicated and
+        answered in one pass per attribute group (see
+        :meth:`ScoreEstimator.local_score_arrays`); results match the
+        scalar loop to machine precision.
+        """
+        indices = [int(i) for i in indices]
+        rows = [self.data.row_codes(i) for i in indices]
+        outcomes = [bool(self._positive[i]) for i in indices]
+        return build_local_explanations_batch(
+            self.estimator, rows, outcomes, list(attributes or self.attributes)
+        )
+
     # -- recourse ---------------------------------------------------------------
+
+    def _recourse_solver(
+        self, actionable: Sequence[str], cost_fn: CostFn | None
+    ) -> RecourseSolver:
+        """The cached solver for ``(actionable, cost_fn)`` at the current data version.
+
+        Solvers embed a fitted :class:`~repro.estimation.logit.LogitModel`
+        (and memoised IP solutions), all functions of the table contents;
+        an entry built against a superseded :attr:`table_version` is
+        discarded and refit so recourse after :meth:`apply_delta` always
+        reflects the updated rows.
+        """
+        key = (tuple(sorted(actionable)), cost_fn)
+        version = self.table_version
+        entry = self._recourse_solvers.get(key)
+        if entry is None or entry[0] != version:
+            solver = RecourseSolver(self.estimator, list(actionable), cost_fn)
+            self._recourse_solvers.put(key, (version, solver), size=1)
+            return solver
+        return entry[1]
 
     def recourse(
         self,
@@ -500,12 +550,76 @@ class Lewis:
         cost_fn: CostFn | None = None,
     ) -> Recourse:
         """Minimal-cost recourse for the individual at ``index``."""
-        key = (tuple(sorted(actionable)), cost_fn)
-        solver = self._recourse_solvers.get(key)
-        if solver is None:
-            solver = RecourseSolver(self.estimator, list(actionable), cost_fn)
-            self._recourse_solvers[key] = solver
+        solver = self._recourse_solver(actionable, cost_fn)
         return solver.solve(self.data.row_codes(int(index)), alpha=alpha)
+
+    def recourse_batch(
+        self,
+        indices: Sequence[int],
+        actionable: Sequence[str],
+        alpha: float = 0.8,
+        cost_fn: CostFn | None = None,
+        on_infeasible: str = "raise",
+    ) -> list[Recourse | None]:
+        """Minimal-cost recourse for a cohort of individuals.
+
+        Routes through :meth:`RecourseSolver.solve_batch`: one logit
+        matrix pass for every base probability and one IP build + solve
+        per *distinct* ``(current codes, context)`` signature.  With
+        ``on_infeasible="none"`` infeasible rows yield ``None`` instead
+        of aborting the batch.
+        """
+        solver = self._recourse_solver(actionable, cost_fn)
+        rows = [self.data.row_codes(int(i)) for i in indices]
+        return solver.solve_batch(rows, alpha=alpha, on_infeasible=on_infeasible)
+
+    def recourse_audit(
+        self,
+        actionable: Sequence[str],
+        alpha: float = 0.8,
+        indices: Sequence[int] | None = None,
+        cost_fn: CostFn | None = None,
+    ) -> dict:
+        """Cohort recourse audit: who can reach a positive decision, and how.
+
+        Runs :meth:`recourse_batch` over ``indices`` (default: every
+        individual with the negative decision) and aggregates the
+        answers — feasibility counts, cost statistics over feasible
+        recourses, and how often each actionable attribute appears in a
+        recommended intervention.  The JSON-friendly summary backs the
+        ``/v1/recourse/batch`` service endpoint and the CLI cohort mode.
+        """
+        chosen = (
+            [int(i) for i in indices]
+            if indices is not None
+            else [int(i) for i in self.negative_indices()]
+        )
+        recourses = self.recourse_batch(
+            chosen, actionable, alpha=alpha, cost_fn=cost_fn,
+            on_infeasible="none",
+        )
+        feasible = [r for r in recourses if r is not None]
+        costs = [r.total_cost for r in feasible if not r.is_empty]
+        attribute_counts: dict[str, int] = {}
+        for r in feasible:
+            for action in r.actions:
+                attribute_counts[action.attribute] = (
+                    attribute_counts.get(action.attribute, 0) + 1
+                )
+        return {
+            "n": len(chosen),
+            "indices": chosen,
+            "alpha": float(alpha),
+            "feasible": len(feasible),
+            "infeasible": len(recourses) - len(feasible),
+            "already_satisfied": sum(r.is_empty for r in feasible),
+            "mean_cost": float(np.mean(costs)) if costs else 0.0,
+            "max_cost": float(np.max(costs)) if costs else 0.0,
+            "attribute_counts": dict(
+                sorted(attribute_counts.items(), key=lambda kv: -kv[1])
+            ),
+            "recourses": recourses,
+        }
 
     def negative_indices(self) -> np.ndarray:
         """Row indices of individuals with the negative decision."""

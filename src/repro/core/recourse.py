@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.scores import ScoreEstimator
 from repro.data.table import Table
 from repro.estimation.logit import LogitModel, logit
@@ -128,15 +130,63 @@ class RecourseSolver:
         self.context_names = context_names
         self._logit = LogitModel(self.actionable, context_names)
         self._logit.fit(table.select(feature_names), estimator._positive)
+        #: per-attribute log-odds vectors, read once instead of one
+        #: ``coefficient()`` call per (attribute, code) per program
+        self._coef_vectors = {
+            a: self._logit.coefficient_vector(a) for a in self.actionable
+        }
+        #: program skeletons keyed by the actionable current-code tuple —
+        #: variables, costs, gains and exclusivity rows depend only on it
+        self._structures: dict[tuple[int, ...], list[tuple]] = {}
+        #: solved recourses memoised by (signature, alpha, max_refinements);
+        #: distinct individuals sharing (current codes, context) share the
+        #: answer
+        self._solutions: dict[tuple, Recourse | RecourseInfeasibleError] = {}
 
     # -- IP construction ---------------------------------------------------
+
+    def _current_key(self, current: Mapping[str, int]) -> tuple[int, ...]:
+        return tuple(int(current[a]) for a in self.actionable)
+
+    def _program_structure(
+        self, current: Mapping[str, int]
+    ) -> list[tuple[str, list[tuple[tuple, float, float]]]]:
+        """Variables, costs and linearised gains for one current-code tuple.
+
+        Returns ``[(attribute, [(name, cost, gain), ...]), ...]``; the
+        per-attribute exclusivity constraint is implied by the grouping.
+        Cached: a cohort's individuals mostly collide on their actionable
+        codes, so the coefficient/cost assembly runs once per distinct
+        tuple instead of once per row.
+        """
+        key = self._current_key(current)
+        cached = self._structures.get(key)
+        if cached is not None:
+            return cached
+        table = self._est.table
+        structure = []
+        for attribute in self.actionable:
+            col = table.column(attribute)
+            cur = int(current[attribute])
+            gains = self._coef_vectors[attribute]
+            entries = [
+                (
+                    (attribute, code),
+                    self.cost_fn(attribute, cur, code),
+                    float(gains[code] - gains[cur]),
+                )
+                for code in range(col.cardinality)
+                if code != cur
+            ]
+            structure.append((attribute, entries))
+        self._structures[key] = structure
+        return structure
 
     def _build_program(
         self,
         row_codes: Mapping[str, int],
         threshold: float,
     ) -> IntegerProgram:
-        table = self._est.table
         program = IntegerProgram()
         context = {n: int(row_codes[n]) for n in self.context_names}
         current = {a: int(row_codes[a]) for a in self.actionable}
@@ -145,20 +195,11 @@ class RecourseSolver:
         needed = logit(threshold) - base_logit
 
         gain_coeffs: dict = {}
-        for attribute in self.actionable:
-            col = table.column(attribute)
-            cur = current[attribute]
+        for _attribute, entries in self._program_structure(current):
             exclusivity: dict = {}
-            for code in range(col.cardinality):
-                if code == cur:
-                    continue
-                name = (attribute, code)
-                program.add_variable(
-                    name, cost=self.cost_fn(attribute, cur, code)
-                )
-                gain_coeffs[name] = self._logit.coefficient(
-                    attribute, code
-                ) - self._logit.coefficient(attribute, cur)
+            for name, cost, gain in entries:
+                program.add_variable(name, cost=cost)
+                gain_coeffs[name] = gain
                 exclusivity[name] = 1.0
             if exclusivity:
                 program.add_le_constraint(exclusivity, 1.0)
@@ -181,11 +222,23 @@ class RecourseSolver:
         actionable set achieves it.
         """
         check_probability(alpha, "alpha")
-        table = self._est.table
         context = {n: int(row_codes[n]) for n in self.context_names}
         current = {a: int(row_codes[a]) for a in self.actionable}
-
         base_prob = self._logit.probability_codes({**current, **context})
+        return self._solve_from_base(
+            current, context, base_prob, alpha, max_refinements
+        )
+
+    def _solve_from_base(
+        self,
+        current: Mapping[str, int],
+        context: Mapping[str, int],
+        base_prob: float,
+        alpha: float,
+        max_refinements: int,
+    ) -> Recourse:
+        """The threshold/refine loop, given an already-scored base probability."""
+        table = self._est.table
         if base_prob >= alpha:
             # Constraint (25) already holds with delta = 0: the paper's
             # "no action is taken" case.
@@ -203,7 +256,7 @@ class RecourseSolver:
 
         last_error: Exception | None = None
         for _refine in range(max_refinements):
-            program = self._build_program(row_codes, threshold)
+            program = self._build_program({**current, **context}, threshold)
             if program.n_variables == 0:
                 # No candidate action exists (all actionable attributes
                 # are stuck at their only value) and the threshold is not
@@ -242,6 +295,91 @@ class RecourseSolver:
             f"no intervention on {self.actionable} reaches sufficiency {alpha}"
         ) from last_error
 
+    def solve_batch(
+        self,
+        rows_codes: Sequence[Mapping[str, int]],
+        alpha: float = 0.8,
+        max_refinements: int = 4,
+        on_infeasible: str = "raise",
+    ) -> list[Recourse | None]:
+        """Minimal-cost recourse for a whole cohort.
+
+        Equivalent to ``[self.solve(row, alpha) for row in rows_codes]``
+        but amortised three ways: base probabilities for every row are
+        scored through the logit model in *one* matrix pass; individuals
+        are grouped by their ``(current actionable codes, context)``
+        signature so each distinct 0-1 program is built and solved once
+        (categorical cohorts collide heavily); and solved signatures are
+        memoised across calls keyed by ``(signature, alpha)``, so a
+        follow-up audit at the same threshold never re-solves.
+
+        ``on_infeasible`` is ``"raise"`` (first infeasible individual
+        aborts the batch, mirroring the scalar loop) or ``"none"``
+        (infeasible rows yield ``None`` — the cohort-audit mode).
+        """
+        check_probability(alpha, "alpha")
+        if on_infeasible not in ("raise", "none"):
+            raise ValueError(
+                f"on_infeasible must be 'raise' or 'none', got {on_infeasible!r}"
+            )
+        rows_codes = list(rows_codes)
+        if not rows_codes:
+            return []
+        names = self.actionable + self.context_names
+        matrix = np.array(
+            [[int(row[name]) for name in names] for row in rows_codes],
+            dtype=np.int64,
+        )
+        signatures, inverse = np.unique(matrix, axis=0, return_inverse=True)
+        # The memo key includes the refinement budget: a signature found
+        # infeasible under a small budget may become feasible with more
+        # threshold refinements, and must then be re-solved.
+        need = [
+            i
+            for i, signature in enumerate(map(tuple, signatures))
+            if (signature, alpha, max_refinements) not in self._solutions
+        ]
+        if need:
+            base_probs = self._logit.probability_codes_batch(signatures[need])
+            for base_prob, i in zip(base_probs, need):
+                signature = tuple(int(c) for c in signatures[i])
+                current = dict(zip(self.actionable, signature))
+                context = dict(
+                    zip(self.context_names, signature[len(self.actionable):])
+                )
+                try:
+                    solved = self._solve_from_base(
+                        current, context, float(base_prob), alpha, max_refinements
+                    )
+                except RecourseInfeasibleError as exc:
+                    solved = exc
+                self._solutions[(signature, alpha, max_refinements)] = solved
+        out: list[Recourse | None] = []
+        for row_index, unique_index in enumerate(inverse):
+            signature = tuple(int(c) for c in signatures[unique_index])
+            solved = self._solutions[(signature, alpha, max_refinements)]
+            if isinstance(solved, RecourseInfeasibleError):
+                if on_infeasible == "raise":
+                    raise RecourseInfeasibleError(
+                        f"row {row_index}: {solved}"
+                    ) from solved
+                out.append(None)
+            else:
+                out.append(solved)
+        return out
+
+    def solution_memo_stats(self) -> dict:
+        """Size counters of the signature-keyed solve caches."""
+        infeasible = sum(
+            isinstance(v, RecourseInfeasibleError)
+            for v in self._solutions.values()
+        )
+        return {
+            "solved_signatures": len(self._solutions),
+            "infeasible_signatures": infeasible,
+            "program_skeletons": len(self._structures),
+        }
+
     def _sufficiency(
         self,
         current: Mapping[str, int],
@@ -264,8 +402,8 @@ class RecourseSolver:
             min(1.0, (probability_new - probability_old) / (1.0 - probability_old)),
         )
 
-    @staticmethod
     def _actions(
+        self,
         table: Table,
         current: Mapping[str, int],
         new_codes: Mapping[str, int],
@@ -280,7 +418,9 @@ class RecourseSolver:
                     attribute=attribute,
                     current_value=categories[current[attribute]],
                     new_value=categories[code],
-                    cost=float(abs(code - current[attribute])),
+                    # The solver's objective priced this move through
+                    # cost_fn; the reported per-action cost must agree.
+                    cost=float(self.cost_fn(attribute, current[attribute], code)),
                 )
             )
         return actions

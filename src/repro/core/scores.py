@@ -37,8 +37,40 @@ from repro.estimation.adjustment import adjusted_probability
 from repro.estimation.engine import ContingencyEngine
 from repro.estimation.outcome_model import OutcomeProbabilityModel
 from repro.estimation.probability import FrequencyEstimator
+from repro.utils.lru import ByteBudgetLRU
 
 SCORE_KINDS = ("necessity", "sufficiency", "necessity_sufficiency")
+
+#: default bound on cached per-feature-tuple local regression models; a
+#: long-lived tenant probing many attribute subsets refits cold tuples
+#: instead of growing without limit.
+DEFAULT_MAX_LOCAL_MODELS = 64
+
+
+@dataclass(frozen=True)
+class LocalScoreArrays:
+    """Cohort-wide local scores of one attribute vs each alternative value.
+
+    For row ``i`` with current code ``c = current[i]`` and any code
+    ``v != c``, entry ``[i, v]`` of each score array holds the local
+    score of the ordered contrast ``(max(v, c), min(v, c))`` in the
+    row's non-descendant context (entries at ``v == c`` are 0).
+    ``probabilities[i, v]`` is the regression backend's
+    ``Pr(o | attribute = v, K = k_i)`` — the probe values every score
+    derives from.
+    """
+
+    attribute: str
+    current: np.ndarray
+    probabilities: np.ndarray
+    necessity: np.ndarray
+    sufficiency: np.ndarray
+    necessity_sufficiency: np.ndarray
+
+    @property
+    def cardinality(self) -> int:
+        """Domain size of the attribute."""
+        return self.probabilities.shape[1]
 
 
 @dataclass(frozen=True)
@@ -85,6 +117,7 @@ class ScoreEstimator:
         positive: np.ndarray,
         diagram: CausalDiagram | None = None,
         outcome_name: str = "__outcome__",
+        max_local_models: int | None = DEFAULT_MAX_LOCAL_MODELS,
     ):
         positive = np.asarray(positive, dtype=bool)
         if len(positive) != len(table):
@@ -105,7 +138,12 @@ class ScoreEstimator:
             extended = diagram.with_outcome(outcome_name, inputs)
             self._adjuster = BackdoorAdjustment(self._freq, extended, outcome_name)
         self._positive = positive
-        self._local_models: dict[tuple[str, ...], OutcomeProbabilityModel] = {}
+        # Per-feature-tuple regression models, LRU-bounded so long-lived
+        # tenants probing many attribute subsets don't grow unboundedly;
+        # stats() mirrors the engine tensor cache's shape.
+        self._local_models: ByteBudgetLRU = ByteBudgetLRU(
+            max_bytes=None, max_entries=max_local_models
+        )
 
     # -- shared plumbing ---------------------------------------------------
 
@@ -424,11 +462,21 @@ class ScoreEstimator:
     # -- regression backend (local scores) ---------------------------------------
 
     def _local_model(self, features: tuple[str, ...]) -> OutcomeProbabilityModel:
-        if features not in self._local_models:
+        model = self._local_models.get(features)
+        if model is None:
             model = OutcomeProbabilityModel(list(features))
             model.fit(self._features, self._positive)
-            self._local_models[features] = model
-        return self._local_models[features]
+            self._local_models.put(features, model, size=1)
+        return model
+
+    def local_model_stats(self) -> dict:
+        """Hit/miss/eviction counters of the local regression-model cache.
+
+        Same stats shape as the engine tensor cache and the service
+        result cache, so operators can size ``max_local_models`` from
+        observed hit rates.
+        """
+        return self._local_models.stats()
 
     def local_context(self, attribute: str, row_codes: Mapping[str, int]) -> dict[str, int]:
         """The individual's non-descendant assignment ``k`` for ``attribute``.
@@ -476,3 +524,186 @@ class ScoreEstimator:
             sufficiency=_clip01(suf),
             necessity_sufficiency=_clip01(p_hi - p_lo),
         )
+
+    # -- batched regression backend (cohort local scores) -------------------------
+
+    def _local_keep_names(self, attribute: str) -> list[str]:
+        """Sorted non-descendant attribute names of ``attribute``.
+
+        The attribute-level half of :meth:`local_context` — it depends
+        only on the diagram, so the cohort path computes it once per
+        attribute instead of re-walking the graph per row.
+        """
+        names = set(self._features.names)
+        if self._diagram is not None and attribute in self._diagram:
+            keep = self._diagram.non_descendants(attribute) & names
+        else:
+            keep = names - {attribute}
+        return sorted(keep)
+
+    def _probe_probabilities(
+        self,
+        model: OutcomeProbabilityModel,
+        context_matrix: np.ndarray,
+        context_cards: Sequence[int],
+        card: int,
+    ) -> np.ndarray:
+        """``Pr(o | X = v, K = k_i)`` for every row and value, deduplicated.
+
+        ``context_matrix`` holds each row's context codes in the model's
+        feature order (sans the attribute itself).  Contexts are
+        deduplicated before probing — categorical cohorts collide
+        heavily — via a scalar mixed-radix key when the domain product
+        fits an int64 (a 1-D ``np.unique``, far cheaper than the
+        ``axis=0`` structured sort), falling back to the row-wise unique
+        otherwise.  Returns an ``(n, card)`` probability matrix.
+        """
+        n, width = context_matrix.shape
+        if width == 0:
+            unique_contexts = np.zeros((1, 0), dtype=np.int64)
+            inverse = np.zeros(n, dtype=np.intp)
+        else:
+            cards = np.asarray(context_cards, dtype=np.int64)
+            in_domain = bool(
+                (context_matrix >= 0).all() and (context_matrix < cards).all()
+            )
+            if in_domain and float(np.prod(cards, dtype=np.float64)) < 2**62:
+                strides = np.ones(width, dtype=np.int64)
+                strides[:-1] = np.cumprod(cards[::-1], dtype=np.int64)[-2::-1]
+                keys = context_matrix @ strides
+                _, first, inverse = np.unique(
+                    keys, return_index=True, return_inverse=True
+                )
+                unique_contexts = context_matrix[first]
+            else:
+                unique_contexts, inverse = np.unique(
+                    context_matrix, axis=0, return_inverse=True
+                )
+        u = unique_contexts.shape[0]
+        probes = np.empty((u * card, 1 + width), dtype=np.int64)
+        probes[:, 0] = np.tile(np.arange(card, dtype=np.int64), u)
+        probes[:, 1:] = np.repeat(unique_contexts, card, axis=0)
+        answers = model.probability_codes_batch(probes).reshape(u, card)
+        return answers[inverse]
+
+    def local_score_arrays(
+        self,
+        rows: Sequence[Mapping[str, int]],
+        attributes: Sequence[str] | None = None,
+    ) -> dict[str, LocalScoreArrays]:
+        """Cohort-scale local scores: one matrix pass per attribute group.
+
+        ``rows`` are full code assignments (e.g. ``Table.row_codes``
+        mappings) of the individuals to explain.  For each attribute the
+        cohort's rows are grouped by their non-descendant feature tuple,
+        the per-attribute regression is fitted once (cached), every
+        ``(value, context)`` probe the scalar path would issue is
+        assembled into one integer matrix, *deduplicated* (categorical
+        contexts collide heavily across a cohort), and answered in a
+        single :meth:`OutcomeProbabilityModel.probability_codes_batch`
+        pass.  NEC / SUF / NESUF against each row's current value are
+        then pure array arithmetic — results match the scalar
+        :meth:`local_scores` loop to machine precision.
+        """
+        rows = list(rows)
+        names = (
+            list(attributes)
+            if attributes is not None
+            else list(self._features.names)
+        )
+        out: dict[str, LocalScoreArrays] = {}
+        n = len(rows)
+        # Homogeneous cohorts (every row assigns the same attributes —
+        # the explain_local_batch shape) share one codes matrix; rows
+        # with differing key sets take the general per-row grouping.
+        key_set = set(rows[0]) if rows else set()
+        homogeneous = n > 0 and all(
+            len(r) == len(key_set) and all(k in key_set for k in r)
+            for r in rows
+        )
+        if homogeneous:
+            order = [nm for nm in self._features.names if nm in key_set]
+            column_of = {nm: j for j, nm in enumerate(order)}
+            codes = np.array(
+                [[int(row[nm]) for nm in order] for row in rows],
+                dtype=np.int64,
+            ).reshape(n, len(order))
+        for attribute in names:
+            card = self._features.column(attribute).cardinality
+            probabilities = np.zeros((n, card))
+            keep_names = self._local_keep_names(attribute)
+            if homogeneous and attribute in column_of:
+                current = codes[:, column_of[attribute]]
+                context_names = [nm for nm in keep_names if nm in column_of]
+                model = self._local_model((attribute, *context_names))
+                context_matrix = codes[
+                    :, [column_of[nm] for nm in context_names]
+                ]
+                context_cards = [
+                    self._features.column(nm).cardinality
+                    for nm in context_names
+                ]
+                probabilities = self._probe_probabilities(
+                    model, context_matrix, context_cards, card
+                )
+            else:
+                current = np.array(
+                    [int(row[attribute]) for row in rows], dtype=np.int64
+                )
+                groups: dict[tuple[str, ...], list[int]] = {}
+                contexts: list[dict[str, int]] = []
+                for i, row in enumerate(rows):
+                    context = {
+                        nm: int(row[nm]) for nm in keep_names if nm in row
+                    }
+                    contexts.append(context)
+                    groups.setdefault(
+                        tuple([attribute, *context]), []
+                    ).append(i)
+                for features, indices in groups.items():
+                    model = self._local_model(features)
+                    context_names = features[1:]
+                    members = np.asarray(indices)
+                    context_matrix = np.array(
+                        [
+                            [contexts[i][nm] for nm in context_names]
+                            for i in indices
+                        ],
+                        dtype=np.int64,
+                    ).reshape(len(indices), len(context_names))
+                    context_cards = [
+                        self._features.column(nm).cardinality
+                        for nm in context_names
+                    ]
+                    probabilities[members] = self._probe_probabilities(
+                        model, context_matrix, context_cards, card
+                    )
+            values = np.arange(card, dtype=np.int64)
+            p_cur = probabilities[np.arange(n), current][:, None]
+            raising = values[None, :] > current[:, None]
+            p_hi = np.where(raising, probabilities, p_cur)
+            p_lo = np.where(raising, p_cur, probabilities)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                necessity = np.where(
+                    p_hi > 0,
+                    (1.0 - p_lo - (1.0 - p_hi)) / np.where(p_hi > 0, p_hi, 1.0),
+                    0.0,
+                )
+                sufficiency = np.where(
+                    p_lo < 1,
+                    (p_hi - p_lo) / np.where(p_lo < 1, 1.0 - p_lo, 1.0),
+                    0.0,
+                )
+            same = values[None, :] == current[:, None]
+            necessity = np.where(same, 0.0, np.clip(necessity, 0.0, 1.0))
+            sufficiency = np.where(same, 0.0, np.clip(sufficiency, 0.0, 1.0))
+            nesuf = np.where(same, 0.0, np.clip(p_hi - p_lo, 0.0, 1.0))
+            out[attribute] = LocalScoreArrays(
+                attribute=attribute,
+                current=current,
+                probabilities=probabilities,
+                necessity=necessity,
+                sufficiency=sufficiency,
+                necessity_sufficiency=nesuf,
+            )
+        return out

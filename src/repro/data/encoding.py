@@ -96,6 +96,31 @@ class OneHotEncoder:
                 out[self._slices[name].start + code] = 1.0
         return out
 
+    def transform_codes_matrix(self, matrix: np.ndarray) -> np.ndarray:
+        """Encode an ``(n, len(columns_))`` integer code matrix in one pass.
+
+        Columns of ``matrix`` align with :attr:`columns_` (fit order).
+        Equivalent to stacking :meth:`transform_codes` row by row, but
+        the whole indicator matrix is scattered with one fancy-index
+        assignment per column instead of N Python-level row builds.
+        """
+        check_fitted(self, "columns_")
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.columns_):
+            raise ValueError(
+                f"code matrix must be (n, {len(self.columns_)}); "
+                f"got shape {matrix.shape}"
+            )
+        n = matrix.shape[0]
+        out = np.zeros((n, self.n_features), dtype=np.float64)
+        offset = 1 if self.drop_first else 0
+        for j, name in enumerate(self.columns_):
+            codes = matrix[:, j].astype(np.int64) - offset
+            valid = codes >= 0
+            rows = np.nonzero(valid)[0]
+            out[rows, self._slices[name].start + codes[valid]] = 1.0
+        return out
+
     def feature_slice(self, name: str) -> slice:
         """Return the slice of encoded features belonging to column ``name``."""
         check_fitted(self, "columns_")

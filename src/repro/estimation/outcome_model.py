@@ -61,6 +61,32 @@ class OutcomeProbabilityModel:
         z = float(self._model.decision_function(row.reshape(1, -1))[0])
         return float(1.0 / (1.0 + np.exp(-z)))
 
+    def probability_codes_batch(
+        self, matrix: np.ndarray | Sequence[Mapping[str, int]]
+    ) -> np.ndarray:
+        """``Pr(o | features = codes)`` for N assignments in one matrix pass.
+
+        ``matrix`` is an ``(n, len(features))`` integer code matrix whose
+        columns align with :attr:`features` (or a sequence of code
+        mappings, converted on entry).  Answers match N scalar
+        :meth:`probability` calls to machine precision: the batch shares
+        the single-row path's logit formula, it just evaluates one
+        ``decision_function`` over the stacked indicator matrix.
+        """
+        check_fitted(self, "_encoder")
+        if not isinstance(matrix, np.ndarray):
+            matrix = np.array(
+                [[int(codes[name]) for name in self.features] for codes in matrix],
+                dtype=np.int64,
+            ).reshape(-1, len(self.features))
+        if self._constant is not None:
+            return np.full(matrix.shape[0], self._constant)
+        if matrix.shape[0] == 0:
+            return np.zeros(0)
+        X = self._encoder.transform_codes_matrix(matrix)
+        z = np.asarray(self._model.decision_function(X), dtype=np.float64)
+        return 1.0 / (1.0 + np.exp(-z))
+
     def probability_table(self, table: Table) -> np.ndarray:
         """Vectorised ``Pr(o | row)`` for every row of ``table``."""
         check_fitted(self, "_encoder")

@@ -115,6 +115,37 @@ def render_recourse(recourse: Recourse, title: str | None = None) -> str:
     return "\n".join(lines)
 
 
+def render_recourse_audit(audit: Mapping, title: str | None = None) -> str:
+    """Cohort recourse-audit card: feasibility, costs, intervention mix.
+
+    Renders the summary dict of :meth:`~repro.core.lewis.Lewis
+    .recourse_audit` — feasible/infeasible counts and a bar per
+    actionable attribute showing how often it appears in a recommended
+    intervention.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    n = max(int(audit.get("n", 0)), 1)
+    lines.append(
+        f"cohort of {audit['n']} (alpha={audit['alpha']}): "
+        f"{audit['feasible']} feasible, {audit['infeasible']} infeasible, "
+        f"{audit['already_satisfied']} already satisfied"
+    )
+    lines.append(
+        f"cost over feasible recourses: mean {audit['mean_cost']:.2f}, "
+        f"max {audit['max_cost']:.2f}"
+    )
+    counts = audit.get("attribute_counts") or {}
+    if counts:
+        width = max(len(a) for a in counts)
+        for attribute, count in counts.items():
+            lines.append(
+                f"{attribute:{width}s} {_bar(count / n)} {count}"
+            )
+    return "\n".join(lines)
+
+
 def render_service_stats(stats: Mapping, title: str | None = None) -> str:
     """Aligned text view of :meth:`ExplainerSession.stats` output.
 

@@ -19,7 +19,9 @@ from repro.service.session import (
     ContextExplainRequest,
     ExplainerSession,
     GlobalExplainRequest,
+    LocalExplainBatchRequest,
     LocalExplainRequest,
+    RecourseBatchRequest,
     RecourseRequest,
     ScoresRequest,
     UpdateRequest,
@@ -33,8 +35,10 @@ __all__ = [
     "ContextExplainRequest",
     "ExplainerSession",
     "GlobalExplainRequest",
+    "LocalExplainBatchRequest",
     "LocalExplainRequest",
     "MicroBatcher",
+    "RecourseBatchRequest",
     "RecourseRequest",
     "ResultCache",
     "ScoresRequest",

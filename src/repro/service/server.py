@@ -23,7 +23,9 @@ Endpoints (all responses are JSON)::
     POST /v1/explain/global    {"attributes"?, "max_pairs_per_attribute"?}
     POST /v1/explain/context   {"context": {attr: value}, ...}
     POST /v1/explain/local     {"index"? | "individual"?, "attributes"?}
+    POST /v1/explain/local_batch {"indices": [i, ...], "attributes"?}
     POST /v1/recourse          {"index", "actionable"?, "alpha"?}
+    POST /v1/recourse/batch    {"indices"?, "actionable"?, "alpha"?}
     POST /v1/audit             {"protected"?, "tolerance"?}
     POST /v1/scores            {"contrasts": [[values, baselines], ...], "context"?}
     POST /v1/update            {"insert": [row, ...], "delete": [index, ...]}
@@ -57,7 +59,9 @@ from repro.service.session import (
     ContextExplainRequest,
     ExplainerSession,
     GlobalExplainRequest,
+    LocalExplainBatchRequest,
     LocalExplainRequest,
+    RecourseBatchRequest,
     RecourseRequest,
     ScoresRequest,
 )
@@ -116,6 +120,12 @@ def _as_number(value: Any, key: str) -> float:
     return float(value)
 
 
+def _as_index_tuple(value: Any, key: str) -> tuple[int, ...]:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise BadRequest(f"{key!r} must be a non-empty list of row indices")
+    return tuple(_as_int(v, key) for v in value)
+
+
 def _build_request(path: str, payload: Mapping[str, Any]):
     """Translate (endpoint, JSON body) into a session request object."""
     if not isinstance(payload, Mapping):
@@ -150,11 +160,29 @@ def _build_request(path: str, payload: Mapping[str, Any]):
             individual=dict(individual) if individual is not None else None,
             attributes=_opt_tuple(payload, "attributes"),
         )
+    if path == "/v1/explain/local_batch":
+        if "indices" not in payload:
+            raise BadRequest('"indices" is required')
+        return LocalExplainBatchRequest(
+            indices=_as_index_tuple(payload["indices"], "indices"),
+            attributes=_opt_tuple(payload, "attributes"),
+        )
     if path == "/v1/recourse":
         if "index" not in payload:
             raise BadRequest('"index" is required')
         return RecourseRequest(
             index=_as_int(payload["index"], "index"),
+            actionable=_opt_tuple(payload, "actionable"),
+            alpha=_as_number(payload.get("alpha", 0.8), "alpha"),
+        )
+    if path == "/v1/recourse/batch":
+        indices = payload.get("indices")
+        return RecourseBatchRequest(
+            indices=(
+                _as_index_tuple(indices, "indices")
+                if indices is not None
+                else None
+            ),
             actionable=_opt_tuple(payload, "actionable"),
             alpha=_as_number(payload.get("alpha", 0.8), "alpha"),
         )

@@ -10,7 +10,11 @@ request object:
 * :class:`GlobalExplainRequest` / :class:`ContextExplainRequest` —
   population / sub-population rankings,
 * :class:`LocalExplainRequest` — one individual's contributions,
+* :class:`LocalExplainBatchRequest` — a whole cohort's contributions in
+  a few deduplicated matrix passes,
 * :class:`RecourseRequest` — minimal-cost intervention,
+* :class:`RecourseBatchRequest` — cohort recourse audit with one IP
+  solve per distinct (current codes, context) signature,
 * :class:`AuditRequest` — counterfactual-fairness verdicts,
 * :class:`ScoresRequest` — raw NEC/SUF/NESUF triples for ad-hoc
   contrasts,
@@ -207,6 +211,47 @@ class LocalExplainRequest:
 
 
 @dataclass(frozen=True)
+class LocalExplainBatchRequest:
+    """Cohort of individual-level explanations in one vectorized pass."""
+
+    kind = "explain_local_batch"
+    cacheable = True
+    indices: tuple[int, ...] = ()
+    attributes: tuple[str, ...] | None = None
+
+    def params(self) -> dict:
+        return {
+            "indices": tuple(int(i) for i in self.indices),
+            "attributes": self.attributes,
+        }
+
+
+@dataclass(frozen=True)
+class RecourseBatchRequest:
+    """Cohort recourse audit: deduplicated batch IP solving.
+
+    ``indices=None`` audits every individual with the negative decision.
+    """
+
+    kind = "recourse_batch"
+    cacheable = True
+    indices: tuple[int, ...] | None = None
+    actionable: tuple[str, ...] | None = None
+    alpha: float = 0.8
+
+    def params(self) -> dict:
+        return {
+            "indices": (
+                tuple(int(i) for i in self.indices)
+                if self.indices is not None
+                else None
+            ),
+            "actionable": self.actionable,
+            "alpha": self.alpha,
+        }
+
+
+@dataclass(frozen=True)
 class RecourseRequest:
     """Minimal-cost recourse for the individual at ``index``."""
 
@@ -364,7 +409,9 @@ class ExplainerSession:
                 "explain_global": self._do_globals,
                 "explain_context": self._do_contexts,
                 "explain_local": self._do_locals,
+                "explain_local_batch": self._do_local_batches,
                 "recourse": self._do_recourses,
+                "recourse_batch": self._do_recourse_batches,
                 "audit": self._do_audits,
                 "scores": self._do_scores,
                 "update": self._do_updates,
@@ -480,9 +527,32 @@ class ExplainerSession:
         """Build, handle, and return a :class:`LocalExplainRequest`."""
         return self.handle(LocalExplainRequest(**kwargs))
 
+    def explain_local_batch(self, indices: Sequence[int], **kwargs) -> dict:
+        """Build, handle, and return a :class:`LocalExplainBatchRequest`."""
+        return self.handle(
+            LocalExplainBatchRequest(
+                indices=tuple(int(i) for i in indices), **kwargs
+            )
+        )
+
     def recourse(self, index: int, **kwargs) -> dict:
         """Build, handle, and return a :class:`RecourseRequest`."""
         return self.handle(RecourseRequest(index=int(index), **kwargs))
+
+    def recourse_batch(
+        self, indices: Sequence[int] | None = None, **kwargs
+    ) -> dict:
+        """Build, handle, and return a :class:`RecourseBatchRequest`."""
+        return self.handle(
+            RecourseBatchRequest(
+                indices=(
+                    tuple(int(i) for i in indices)
+                    if indices is not None
+                    else None
+                ),
+                **kwargs,
+            )
+        )
 
     def audit(self, **kwargs) -> dict:
         """Build, handle, and return an :class:`AuditRequest`."""
@@ -576,22 +646,66 @@ class ExplainerSession:
             out.append(local_explanation_to_dict(explanation))
         return out
 
+    def _do_local_batches(
+        self, requests: list[LocalExplainBatchRequest]
+    ) -> list[dict]:
+        # The whole cohort's regression probes are deduplicated and
+        # answered in one matrix pass per attribute group.
+        out = []
+        for r in requests:
+            explanations = self.lewis.explain_local_batch(
+                list(r.indices),
+                attributes=list(r.attributes) if r.attributes else None,
+            )
+            out.append(
+                {
+                    "indices": [int(i) for i in r.indices],
+                    "explanations": [
+                        local_explanation_to_dict(e) for e in explanations
+                    ],
+                }
+            )
+        return out
+
+    def _actionable_for(self, requested) -> list[str]:
+        actionable = list(requested) if requested else self.default_actionable
+        if not actionable:
+            raise ValueError(
+                "no actionable attributes: pass them on the request "
+                "or configure default_actionable on the session"
+            )
+        return actionable
+
     def _do_recourses(self, requests: list[RecourseRequest]) -> list[dict]:
         out = []
         for r in requests:
-            actionable = (
-                list(r.actionable) if r.actionable else self.default_actionable
-            )
-            if not actionable:
-                raise ValueError(
-                    "no actionable attributes: pass RecourseRequest.actionable "
-                    "or configure default_actionable on the session"
-                )
+            actionable = self._actionable_for(r.actionable)
             out.append(
                 recourse_to_dict(
                     self.lewis.recourse(r.index, actionable=actionable, alpha=r.alpha)
                 )
             )
+        return out
+
+    def _do_recourse_batches(
+        self, requests: list[RecourseBatchRequest]
+    ) -> list[dict]:
+        # One logit matrix pass for base probabilities, one IP solve per
+        # distinct (current codes, context) signature.
+        out = []
+        for r in requests:
+            actionable = self._actionable_for(r.actionable)
+            audit = self.lewis.recourse_audit(
+                actionable,
+                alpha=r.alpha,
+                indices=list(r.indices) if r.indices is not None else None,
+            )
+            recourses = audit.pop("recourses")
+            audit["recourses"] = [
+                recourse_to_dict(x) if x is not None else None
+                for x in recourses
+            ]
+            out.append(jsonable(audit))
         return out
 
     def _do_audits(self, requests: list[AuditRequest]) -> list[dict]:
@@ -673,5 +787,6 @@ class ExplainerSession:
             "requests_served": self._served,
             "cache": self.cache.stats(),
             "engine": self.lewis.estimator.engine.stats(),
+            "local_models": self.lewis.estimator.local_model_stats(),
             "scheduler": self._batcher.stats(),
         }

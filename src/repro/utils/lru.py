@@ -84,6 +84,13 @@ class ByteBudgetLRU:
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self._items)
 
+    def __getitem__(self, key: Hashable) -> Any:
+        """Dict-style access with :meth:`peek` semantics (no counters)."""
+        entry = self._items.get(key)
+        if entry is None:
+            raise KeyError(key)
+        return entry[0]
+
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Return the cached value (counting a hit) or ``default`` (a miss)."""
         entry = self._items.get(key)

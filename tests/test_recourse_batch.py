@@ -1,0 +1,229 @@
+"""Cohort recourse: custom-cost accounting, cache invalidation, audits.
+
+Covers the satellite regressions of the cohort fast-path PR: reported
+action costs must come from the solver's ``cost_fn`` (not a hardcoded
+ordinal distance), cached solvers must be dropped when the underlying
+table changes, and the bounded local-model cache must evict instead of
+growing without limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lewis import Lewis
+from repro.core.recourse import RecourseSolver
+from repro.core.scores import ScoreEstimator
+from repro.data.table import Table
+
+
+def make_population(seed: int = 0, n: int = 240) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table.from_codes(
+        {
+            "skill": rng.integers(0, 3, n),
+            "hours": rng.integers(0, 3, n),
+            "region": rng.integers(0, 2, n),
+        },
+        domains={"skill": [0, 1, 2], "hours": [0, 1, 2], "region": [0, 1]},
+    )
+
+
+def score_model(features: Table) -> np.ndarray:
+    return (features.codes("skill") + features.codes("hours")) >= 3
+
+
+def make_lewis(seed: int = 0, n: int = 240) -> Lewis:
+    return Lewis(
+        score_model,
+        data=make_population(seed, n),
+        feature_names=["skill", "hours", "region"],
+        infer_orderings=False,
+    )
+
+
+class TestCustomCostAccounting:
+    def test_reported_costs_use_cost_fn(self):
+        """Per-action ``cost`` and ``total_cost`` agree with the objective.
+
+        Regression: ``_actions`` hardcoded ``abs(code - current)`` as the
+        reported action cost regardless of the solver's ``cost_fn``, so a
+        custom pricing produced an inconsistent recourse card.
+        """
+        lewis = make_lewis()
+
+        def lopsided(attribute: str, current: int, new: int) -> float:
+            return 5.0 if attribute == "skill" else 0.25 * abs(new - current)
+
+        negative = lewis.negative_indices()
+        checked = 0
+        for index in negative[:25]:
+            try:
+                recourse = lewis.recourse(
+                    int(index),
+                    actionable=["skill", "hours"],
+                    alpha=0.6,
+                    cost_fn=lopsided,
+                )
+            except Exception:
+                continue
+            for action in recourse.actions:
+                current = lewis.data.column(action.attribute).code_of(
+                    action.current_value
+                )
+                new = lewis.data.column(action.attribute).code_of(
+                    action.new_value
+                )
+                assert action.cost == pytest.approx(
+                    lopsided(action.attribute, current, new), abs=1e-12
+                )
+            if recourse.actions:
+                checked += 1
+                assert recourse.total_cost == pytest.approx(
+                    sum(a.cost for a in recourse.actions), abs=1e-9
+                )
+        assert checked > 0, "no feasible non-empty recourse exercised the check"
+
+    def test_unit_cost_unchanged(self):
+        """The default cost function still reports ordinal distances."""
+        lewis = make_lewis()
+        for index in lewis.negative_indices()[:20]:
+            try:
+                recourse = lewis.recourse(
+                    int(index), actionable=["skill", "hours"], alpha=0.6
+                )
+            except Exception:
+                continue
+            for action in recourse.actions:
+                current = lewis.data.column(action.attribute).code_of(
+                    action.current_value
+                )
+                new = lewis.data.column(action.attribute).code_of(action.new_value)
+                assert action.cost == float(abs(new - current))
+
+
+class TestSolverInvalidation:
+    def test_recourse_after_append_reflects_new_rows(self):
+        """A data delta must drop the cached solver's stale logit model."""
+        lewis = make_lewis(seed=1, n=200)
+        index = int(lewis.negative_indices()[0])
+        before = lewis.recourse(index, actionable=["skill", "hours"], alpha=0.6)
+        cached = lewis._recourse_solvers[(("hours", "skill"), None)][1]
+
+        # Append a skewed block of rows; the refit logit must see them.
+        inserts = [
+            {"skill": 2, "hours": 2, "region": 0} for _ in range(150)
+        ] + [{"skill": 0, "hours": 0, "region": 1} for _ in range(150)]
+        lewis.apply_delta(inserted_rows=inserts)
+
+        after = lewis.recourse(index, actionable=["skill", "hours"], alpha=0.6)
+        fresh_solver = RecourseSolver(lewis.estimator, ["skill", "hours"])
+        fresh = fresh_solver.solve(lewis.data.row_codes(index), alpha=0.6)
+        refit = lewis._recourse_solvers[(("hours", "skill"), None)][1]
+        assert refit is not cached
+        assert after.as_dict() == fresh.as_dict()
+        assert after.estimated_probability == pytest.approx(
+            fresh.estimated_probability, abs=1e-12
+        )
+        # And the pre-update answer was genuinely computed on old data.
+        assert before.threshold != pytest.approx(0.0)
+
+    def test_version_mismatch_detected_without_lewis_apply_delta(self):
+        """Even an estimator-level delta invalidates at next lookup."""
+        lewis = make_lewis(seed=2, n=160)
+        index = int(lewis.negative_indices()[0])
+        lewis.recourse(index, actionable=["skill", "hours"], alpha=0.6)
+        first = lewis._recourse_solvers[(("hours", "skill"), None)]
+
+        extra = make_population(seed=9, n=40)
+        positive = score_model(extra)
+        lewis.estimator.apply_delta(extra, positive)
+
+        lewis.recourse(index, actionable=["skill", "hours"], alpha=0.6)
+        second = lewis._recourse_solvers[(("hours", "skill"), None)]
+        assert second[0] > first[0]
+        assert second[1] is not first[1]
+
+
+class TestSolverCacheBound:
+    def test_per_call_lambdas_do_not_grow_cache_unboundedly(self):
+        """Identity-keyed cost_fn entries are LRU-evicted, not leaked."""
+        lewis = make_lewis(seed=7, n=160)
+        index = int(lewis.negative_indices()[0])
+        for _ in range(20):
+            lewis.recourse(
+                index,
+                actionable=["skill", "hours"],
+                alpha=0.6,
+                cost_fn=lambda a, c, n: float(abs(n - c)),
+            )
+        assert len(lewis._recourse_solvers) <= 16
+
+    def test_memo_respects_refinement_budget(self):
+        """A larger max_refinements must not be served a smaller budget's answer."""
+        estimator = ScoreEstimator(
+            make_population(seed=8, n=200), score_model(make_population(seed=8, n=200))
+        )
+        solver = RecourseSolver(estimator, actionable=["skill", "hours"])
+        rows = [estimator._features.row_codes(i) for i in range(20)]
+        solver.solve_batch(rows, alpha=0.6, max_refinements=1, on_infeasible="none")
+        small = solver.solution_memo_stats()["solved_signatures"]
+        solver.solve_batch(rows, alpha=0.6, max_refinements=4, on_infeasible="none")
+        # Distinct budgets occupy distinct memo keys: the second call
+        # re-solved instead of re-serving the budget-1 entries.
+        assert solver.solution_memo_stats()["solved_signatures"] == 2 * small
+
+
+class TestRecourseAudit:
+    def test_audit_counts_are_consistent(self):
+        lewis = make_lewis(seed=3)
+        audit = lewis.recourse_audit(["skill", "hours"], alpha=0.6)
+        assert audit["n"] == len(lewis.negative_indices())
+        assert audit["feasible"] + audit["infeasible"] == audit["n"]
+        assert len(audit["recourses"]) == audit["n"]
+        assert audit["already_satisfied"] <= audit["feasible"]
+        for recourse in audit["recourses"]:
+            if recourse is not None and recourse.actions:
+                assert audit["mean_cost"] > 0.0
+                break
+
+    def test_audit_on_explicit_indices(self):
+        lewis = make_lewis(seed=4)
+        chosen = [int(i) for i in lewis.negative_indices()[:5]]
+        audit = lewis.recourse_audit(["skill", "hours"], alpha=0.6, indices=chosen)
+        assert audit["indices"] == chosen
+        assert audit["n"] == 5
+
+
+class TestLocalModelCacheBound:
+    def test_eviction_beyond_budget(self):
+        table = make_population(seed=5, n=120)
+        positive = score_model(table)
+        estimator = ScoreEstimator(table, positive, max_local_models=2)
+        # Three distinct feature tuples: the first must be evicted.
+        for attribute in ("skill", "hours", "region"):
+            context = estimator.local_context(
+                attribute, table.row_codes(0)
+            )
+            estimator.local_probability(attribute, 0, context)
+        stats = estimator.local_model_stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        assert stats["misses"] == 3
+
+    def test_evicted_model_refits_identically(self):
+        table = make_population(seed=6, n=150)
+        positive = score_model(table)
+        bounded = ScoreEstimator(table, positive, max_local_models=1)
+        unbounded = ScoreEstimator(table, positive, max_local_models=None)
+        row = table.row_codes(3)
+        for attribute in ("skill", "hours", "skill", "region", "skill"):
+            context_b = bounded.local_context(attribute, row)
+            context_u = unbounded.local_context(attribute, row)
+            assert bounded.local_probability(
+                attribute, 1, context_b
+            ) == pytest.approx(
+                unbounded.local_probability(attribute, 1, context_u), abs=1e-12
+            )
+        assert bounded.local_model_stats()["evictions"] >= 2
