@@ -1,0 +1,254 @@
+"""Recourse-at-scale benchmark: parametric engine, workers, anytime mode.
+
+Times one cohort recourse audit four ways and persists the numbers under
+``benchmarks/results/recourse_scale.json``:
+
+* **milp serial** — ``RecourseSolver(engine="milp")``, the scipy/HiGHS
+  route every signature program used to take (the PR-4 baseline path),
+* **parametric serial** — cached parametric-dual bounds, greedy
+  certificates and warm-started exact search, one process,
+* **parametric parallel** — the same work partitioned over
+  ``workers=2`` process-pool chunks,
+* **anytime** — greedy LP rounding with a certified optimality gap.
+
+Three correctness gates run inside the benchmark, so a speedup can
+never be bought with a wrong answer:
+
+1. parametric objectives match the MILP oracle to 1e-9 (and feasibility
+   verdicts match exactly),
+2. serial and parallel answers are *bit-identical* (action sets, costs,
+   sufficiencies, thresholds),
+3. every anytime answer's cost exceeds the exact optimum by at most its
+   reported ``optimality_gap``.
+
+Run standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_recourse_scale.py           # full
+    PYTHONPATH=src python benchmarks/bench_recourse_scale.py --smoke   # CI guard
+
+``--smoke`` shrinks the cohort and *asserts* the gates plus a perf
+tripwire (requesting workers must never make the audit materially
+slower than serial); the full run records the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+PARITY_TOL = 1e-9
+GAP_TOL = 1e-9
+
+#: smoke tripwire — a worker-enabled audit may never be more than this
+#: factor slower than the serial one.  Small smoke cohorts stay below
+#: ``parallel_threshold`` and run inline, so the two are the same code
+#: path and the slack only absorbs timer noise.
+SMOKE_PARALLEL_SLACK = 1.25
+
+
+def _cohort_rows(lewis, cohort: int):
+    negative = [int(i) for i in lewis.negative_indices()]
+    indices = (negative * (cohort // max(len(negative), 1) + 1))[:cohort]
+    return [lewis.data.row_codes(i) for i in indices]
+
+
+def _timed_batch(solver, rows, alpha, **kwargs):
+    start = time.perf_counter()
+    out = solver.solve_batch(rows, alpha=alpha, on_infeasible="none", **kwargs)
+    return time.perf_counter() - start, out
+
+
+def _check_oracle_parity(oracle, fast) -> int:
+    checked = 0
+    for a, b in zip(oracle, fast):
+        if (a is None) != (b is None):
+            raise SystemExit("oracle parity violation: feasibility differs")
+        if a is None:
+            continue
+        if abs(a.total_cost - b.total_cost) > PARITY_TOL:
+            raise SystemExit(
+                f"oracle parity violation: milp cost {a.total_cost} vs "
+                f"parametric {b.total_cost}"
+            )
+        checked += 1
+    return checked
+
+
+def _check_bit_identity(serial, parallel) -> None:
+    for a, b in zip(serial, parallel):
+        if (a is None) != (b is None):
+            raise SystemExit("parallel identity violation: feasibility differs")
+        if a is None:
+            continue
+        if (
+            a.as_dict() != b.as_dict()
+            or a.total_cost != b.total_cost
+            or a.estimated_sufficiency != b.estimated_sufficiency
+            or a.threshold != b.threshold
+        ):
+            raise SystemExit(
+                f"parallel identity violation: {a.as_dict()} != {b.as_dict()}"
+            )
+
+
+def _check_anytime_gaps(exact, anytime) -> tuple[int, float]:
+    certified = 0
+    worst_gap = 0.0
+    for e, a in zip(exact, anytime):
+        if a is None or e is None:
+            continue
+        if a.optimality_gap < 0.0:
+            raise SystemExit(f"negative optimality gap: {a.optimality_gap}")
+        if a.total_cost - e.total_cost > a.optimality_gap + GAP_TOL:
+            raise SystemExit(
+                f"gap certificate violated: anytime {a.total_cost} vs exact "
+                f"{e.total_cost} with gap {a.optimality_gap}"
+            )
+        certified += 1
+        worst_gap = max(worst_gap, a.optimality_gap)
+    return certified, worst_gap
+
+
+def _committed_baseline() -> float | None:
+    """PR-4 recourse batch seconds from the committed local_batch.json."""
+    path = RESULTS_DIR / "local_batch.json"
+    try:
+        return float(json.loads(path.read_text())["recourse_audit"]["batch_s"])
+    except (OSError, KeyError, ValueError, TypeError):
+        return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dataset", default=None, help="default: adult (full) / german (smoke)"
+    )
+    parser.add_argument("--rows", type=int, default=None, help="dataset size")
+    parser.add_argument(
+        "--cohort", type=int, default=None, help="cohort size (default 1000/120)"
+    )
+    parser.add_argument("--alpha", type=float, default=0.7)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes + assert parity, bit-identity, gaps and the "
+        "parallel perf tripwire",
+    )
+    args = parser.parse_args(argv)
+
+    from benchmarks.bench_local_batch import build_explainer
+    from benchmarks.conftest import result_envelope
+    from repro.core.recourse import RecourseSolver
+
+    dataset = args.dataset or ("german" if args.smoke else "adult")
+    rows = args.rows if args.rows is not None else (400 if args.smoke else 6_000)
+    cohort = args.cohort if args.cohort is not None else (120 if args.smoke else 1_000)
+
+    bundle, lewis = build_explainer(dataset, rows, args.seed)
+    actionable = list(bundle.actionable)
+    cohort_rows = _cohort_rows(lewis, cohort)
+
+    # Each measurement gets a fresh solver: the solution memo would
+    # otherwise let the first run pre-pay for the rest.
+    milp_s, milp_out = _timed_batch(
+        RecourseSolver(lewis.estimator, actionable, engine="milp"),
+        cohort_rows,
+        args.alpha,
+    )
+    serial_solver = RecourseSolver(lewis.estimator, actionable)
+    serial_s, serial_out = _timed_batch(serial_solver, cohort_rows, args.alpha)
+    parallel_solver = RecourseSolver(lewis.estimator, actionable)
+    parallel_s, parallel_out = _timed_batch(
+        parallel_solver, cohort_rows, args.alpha, workers=args.workers
+    )
+    anytime_s, anytime_out = _timed_batch(
+        RecourseSolver(lewis.estimator, actionable),
+        cohort_rows,
+        args.alpha,
+        mode="anytime",
+    )
+
+    feasible = _check_oracle_parity(milp_out, serial_out)
+    _check_bit_identity(serial_out, parallel_out)
+    certified, worst_gap = _check_anytime_gaps(serial_out, anytime_out)
+
+    memo = serial_solver.solution_memo_stats()
+    committed = _committed_baseline()
+    result = {
+        "provenance": result_envelope(),
+        "dataset": dataset,
+        "rows": rows,
+        "population": len(lewis.data),
+        "smoke": args.smoke,
+        "cohort": len(cohort_rows),
+        "alpha": args.alpha,
+        "workers": args.workers,
+        "feasible": feasible,
+        "distinct_signatures": memo["solved_signatures"],
+        "lp_certified_signatures": memo["certified_by_lp_bound"],
+        "donor_seeded_searches": memo["donor_seeded_searches"],
+        "search_nodes": memo["search_nodes"],
+        "pool_used": parallel_solver.solution_memo_stats()["parallel_batches"] > 0,
+        "milp_serial_s": round(milp_s, 6),
+        "parametric_serial_s": round(serial_s, 6),
+        "parametric_parallel_s": round(parallel_s, 6),
+        "anytime_s": round(anytime_s, 6),
+        "speedup_vs_milp": round(milp_s / serial_s, 2) if serial_s else float("inf"),
+        "committed_pr4_batch_s": committed,
+        "speedup_vs_committed_serial": (
+            round(committed / serial_s, 2) if committed and serial_s else None
+        ),
+        "speedup_vs_committed_parallel": (
+            round(committed / parallel_s, 2) if committed and parallel_s else None
+        ),
+        "speedup_vs_committed_anytime": (
+            round(committed / anytime_s, 2) if committed and anytime_s else None
+        ),
+        "anytime_certified": certified,
+        "anytime_worst_gap": round(worst_gap, 9),
+        "parity_tol": PARITY_TOL,
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    out_path = RESULTS_DIR / (
+        "recourse_scale_smoke.json" if args.smoke else "recourse_scale.json"
+    )
+    out_path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(result, indent=2, sort_keys=True))
+    print(f"wrote {out_path}")
+
+    if args.smoke:
+        failures = []
+        if parallel_s > serial_s * SMOKE_PARALLEL_SLACK:
+            failures.append(
+                f"workers={args.workers} audit took {parallel_s:.3f}s vs "
+                f"serial {serial_s:.3f}s (> {SMOKE_PARALLEL_SLACK}x slack)"
+            )
+        if serial_s > milp_s:
+            failures.append(
+                f"parametric serial {serial_s:.3f}s slower than the MILP "
+                f"oracle {milp_s:.3f}s"
+            )
+        if certified == 0 and feasible > 0:
+            failures.append("anytime mode certified no feasible rows")
+        if failures:
+            print("SMOKE FAILURES:", "; ".join(failures), file=sys.stderr)
+            return 1
+        print("smoke floors satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

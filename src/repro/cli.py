@@ -141,9 +141,16 @@ def cmd_recourse(args) -> int:
     if not actionable:
         print(f"{args.dataset} has no actionable attributes", file=sys.stderr)
         return 1
+    mode = "anytime" if args.anytime else "exact"
     cohort = _cohort_indices(args, lewis)
     if cohort is not None:
-        audit = lewis.recourse_audit(actionable, alpha=args.alpha, indices=cohort)
+        audit = lewis.recourse_audit(
+            actionable,
+            alpha=args.alpha,
+            indices=cohort,
+            workers=args.workers,
+            mode=mode,
+        )
         print(
             render_recourse_audit(
                 audit,
@@ -158,7 +165,9 @@ def cmd_recourse(args) -> int:
     if index is None:
         index = int(lewis.negative_indices()[0])
     try:
-        recourse = lewis.recourse(index, actionable=actionable, alpha=args.alpha)
+        recourse = lewis.recourse(
+            index, actionable=actionable, alpha=args.alpha, mode=mode
+        )
     except RecourseInfeasibleError as exc:
         print(f"infeasible: {exc}", file=sys.stderr)
         return 2
@@ -407,6 +416,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_recourse.add_argument("--index", type=int, default=None)
     p_recourse.add_argument("--alpha", type=float, default=0.7)
     p_recourse.add_argument("--actionable", nargs="*", default=None)
+    p_recourse.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for cohort audits (results are identical)",
+    )
+    p_recourse.add_argument(
+        "--anytime",
+        action="store_true",
+        help="greedy anytime mode with a certified optimality gap",
+    )
     cohort_flags(p_recourse)
     p_recourse.set_defaults(func=cmd_recourse)
 

@@ -548,10 +548,15 @@ class Lewis:
         actionable: Sequence[str],
         alpha: float = 0.8,
         cost_fn: CostFn | None = None,
+        mode: str = "exact",
     ) -> Recourse:
-        """Minimal-cost recourse for the individual at ``index``."""
+        """Minimal-cost recourse for the individual at ``index``.
+
+        ``mode="anytime"`` trades exactness for latency: the answer is a
+        greedy LP rounding carrying a certified ``optimality_gap``.
+        """
         solver = self._recourse_solver(actionable, cost_fn)
-        return solver.solve(self.data.row_codes(int(index)), alpha=alpha)
+        return solver.solve(self.data.row_codes(int(index)), alpha=alpha, mode=mode)
 
     def recourse_batch(
         self,
@@ -560,18 +565,29 @@ class Lewis:
         alpha: float = 0.8,
         cost_fn: CostFn | None = None,
         on_infeasible: str = "raise",
+        workers: int | None = None,
+        mode: str = "exact",
     ) -> list[Recourse | None]:
         """Minimal-cost recourse for a cohort of individuals.
 
         Routes through :meth:`RecourseSolver.solve_batch`: one logit
-        matrix pass for every base probability and one IP build + solve
-        per *distinct* ``(current codes, context)`` signature.  With
+        matrix pass for every base probability and one warm-started
+        signature solve per *distinct* ``(current codes, context)``
+        signature.  ``workers > 1`` spreads unsolved signatures over a
+        process pool (results identical to serial); ``mode="anytime"``
+        returns greedy solutions with certified gaps.  With
         ``on_infeasible="none"`` infeasible rows yield ``None`` instead
         of aborting the batch.
         """
         solver = self._recourse_solver(actionable, cost_fn)
         rows = [self.data.row_codes(int(i)) for i in indices]
-        return solver.solve_batch(rows, alpha=alpha, on_infeasible=on_infeasible)
+        return solver.solve_batch(
+            rows,
+            alpha=alpha,
+            on_infeasible=on_infeasible,
+            workers=workers,
+            mode=mode,
+        )
 
     def recourse_audit(
         self,
@@ -579,6 +595,8 @@ class Lewis:
         alpha: float = 0.8,
         indices: Sequence[int] | None = None,
         cost_fn: CostFn | None = None,
+        workers: int | None = None,
+        mode: str = "exact",
     ) -> dict:
         """Cohort recourse audit: who can reach a positive decision, and how.
 
@@ -586,8 +604,11 @@ class Lewis:
         individual with the negative decision) and aggregates the
         answers — feasibility counts, cost statistics over feasible
         recourses, and how often each actionable attribute appears in a
-        recommended intervention.  The JSON-friendly summary backs the
-        ``/v1/recourse/batch`` service endpoint and the CLI cohort mode.
+        recommended intervention.  ``workers`` and ``mode`` pass through
+        to the solver; the summary's ``solver`` block reports its memo,
+        certificate and warm-start counters.  The JSON-friendly summary
+        backs the ``/v1/recourse/batch`` service endpoint and the CLI
+        cohort mode.
         """
         chosen = (
             [int(i) for i in indices]
@@ -596,7 +617,7 @@ class Lewis:
         )
         recourses = self.recourse_batch(
             chosen, actionable, alpha=alpha, cost_fn=cost_fn,
-            on_infeasible="none",
+            on_infeasible="none", workers=workers, mode=mode,
         )
         feasible = [r for r in recourses if r is not None]
         costs = [r.total_cost for r in feasible if not r.is_empty]
@@ -606,10 +627,13 @@ class Lewis:
                 attribute_counts[action.attribute] = (
                     attribute_counts.get(action.attribute, 0) + 1
                 )
+        solver = self._recourse_solver(actionable, cost_fn)
         return {
             "n": len(chosen),
             "indices": chosen,
             "alpha": float(alpha),
+            "mode": mode,
+            "solver": solver.solution_memo_stats(),
             "feasible": len(feasible),
             "infeasible": len(recourses) - len(feasible),
             "already_satisfied": sum(r.is_empty for r in feasible),

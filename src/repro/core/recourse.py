@@ -24,11 +24,13 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.core import recourse_kernel
+from repro.core.recourse_kernel import CHUNK_SIZE, ENGINES, MODES, solve_chunk
 from repro.core.scores import ScoreEstimator
 from repro.data.table import Table
 from repro.estimation.logit import LogitModel, logit
-from repro.opt.branch_and_bound import solve_binary_program
 from repro.opt.integer_program import IntegerProgram
+from repro.opt.parametric import SignatureSkeleton
 from repro.utils.exceptions import RecourseInfeasibleError
 from repro.utils.validation import check_probability
 
@@ -38,6 +40,11 @@ CostFn = Callable[[str, int, int], float]
 def unit_step_cost(attribute: str, current_code: int, new_code: int) -> float:
     """Default cost: one unit per ordinal step moved."""
     return float(abs(new_code - current_code))
+
+
+def _check_mode(mode: str) -> None:
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
 
 
 @dataclass(frozen=True)
@@ -50,17 +57,31 @@ class RecourseAction:
     cost: float
 
 
-@dataclass
+@dataclass(frozen=True)
 class Recourse:
-    """A recommended intervention with its estimated effect."""
+    """A recommended intervention with its estimated effect.
 
-    actions: list[RecourseAction]
+    Frozen: :meth:`RecourseSolver.solve_batch` hands the *same* memoised
+    instance to every row sharing a signature, so a mutable recourse
+    would let one caller silently corrupt the answer served to all
+    tenants.  ``optimality_gap`` is 0 for exact solves; in
+    ``mode="anytime"`` it is a certified bound — the true exact cost is
+    guaranteed within ``total_cost - optimality_gap``..``total_cost``.
+    """
+
+    actions: tuple[RecourseAction, ...]
     total_cost: float
     estimated_sufficiency: float
     estimated_probability: float
     threshold: float
     n_constraints: int
     n_variables: int
+    optimality_gap: float = 0.0
+    mode: str = "exact"
+
+    def __post_init__(self):
+        # Accept any sequence of actions but store an immutable tuple.
+        object.__setattr__(self, "actions", tuple(self.actions))
 
     @property
     def is_empty(self) -> bool:
@@ -98,19 +119,38 @@ class RecourseSolver:
     cost_fn:
         ``cost_fn(attribute, current_code, new_code) -> float``; defaults
         to :func:`unit_step_cost`.
+    engine:
+        ``"parametric"`` (default) solves each signature program with
+        cached parametric-dual bounds, greedy certificates and a
+        warm-started exact search; ``"milp"`` keeps the scipy/HiGHS
+        route as an independent oracle for parity testing.
+    max_nodes:
+        Node budget per signature search (both engines).
     """
+
+    #: minimum number of unsolved signatures before ``workers > 1``
+    #: actually spawns a process pool — below this the pool's start-up
+    #: cost exceeds the solve time, so the chunks run inline instead
+    #: (with identical results either way).
+    parallel_threshold = 128
 
     def __init__(
         self,
         estimator: ScoreEstimator,
         actionable: Sequence[str],
         cost_fn: CostFn | None = None,
+        engine: str = "parametric",
+        max_nodes: int = 200_000,
     ):
         if not actionable:
             raise ValueError("actionable set must not be empty")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self._est = estimator
         self.actionable = list(actionable)
         self.cost_fn = cost_fn or unit_step_cost
+        self.engine = engine
+        self.max_nodes = int(max_nodes)
         table = estimator.table
         missing = [a for a in self.actionable if a not in table]
         if missing:
@@ -138,10 +178,23 @@ class RecourseSolver:
         #: program skeletons keyed by the actionable current-code tuple —
         #: variables, costs, gains and exclusivity rows depend only on it
         self._structures: dict[tuple[int, ...], list[tuple]] = {}
-        #: solved recourses memoised by (signature, alpha, max_refinements);
-        #: distinct individuals sharing (current codes, context) share the
-        #: answer
+        #: solve-ready skeletons (parametric grids, option orderings)
+        #: derived from the structures, same key
+        self._skeletons: dict[tuple[int, ...], SignatureSkeleton] = {}
+        #: picklable skeleton payloads shipped to worker processes
+        self._skeleton_payloads: dict[tuple[int, ...], dict] = {}
+        #: solved recourses memoised by (signature, alpha, max_refinements,
+        #: mode); distinct individuals sharing (current codes, context)
+        #: share the answer
         self._solutions: dict[tuple, Recourse | RecourseInfeasibleError] = {}
+        #: cumulative kernel counters (searches, certificates, warm starts)
+        self._counters = {
+            "signature_solves": 0,
+            "certified_by_lp_bound": 0,
+            "donor_seeded_searches": 0,
+            "search_nodes": 0,
+            "parallel_batches": 0,
+        }
 
     # -- IP construction ---------------------------------------------------
 
@@ -182,6 +235,48 @@ class RecourseSolver:
         self._structures[key] = structure
         return structure
 
+    def _skeleton(self, current: Mapping[str, int]) -> SignatureSkeleton:
+        """Solve-ready skeleton for one current-code mapping (cached)."""
+        return self._skeleton_for_key(self._current_key(current))
+
+    def _skeleton_for_key(self, key: tuple[int, ...]) -> SignatureSkeleton:
+        skeleton = self._skeletons.get(key)
+        if skeleton is None:
+            skeleton = SignatureSkeleton.from_payload(self._skeleton_payload(key))
+            self._skeletons[key] = skeleton
+        return skeleton
+
+    def _program_shape(self, key: tuple[int, ...]) -> tuple[int, int]:
+        """(n_constraints, n_variables) of a signature program, sans solve."""
+        payload = self._skeleton_payload(key)
+        n_variables = sum(len(codes) for codes in payload["codes"])
+        n_constraints = sum(len(codes) > 0 for codes in payload["codes"]) + 1
+        return n_constraints, n_variables
+
+    def _skeleton_payload(self, key: tuple[int, ...]) -> dict:
+        """Picklable skeleton payload for one current-code tuple (cached)."""
+        payload = self._skeleton_payloads.get(key)
+        if payload is None:
+            structure = self._program_structure(dict(zip(self.actionable, key)))
+            payload = {
+                "attributes": list(self.actionable),
+                "current": key,
+                "codes": [
+                    [int(name[1]) for name, _, _ in entries]
+                    for _, entries in structure
+                ],
+                "costs": [
+                    [float(cost) for _, cost, _ in entries]
+                    for _, entries in structure
+                ],
+                "gains": [
+                    [float(gain) for _, _, gain in entries]
+                    for _, entries in structure
+                ],
+            }
+            self._skeleton_payloads[key] = payload
+        return payload
+
     def _build_program(
         self,
         row_codes: Mapping[str, int],
@@ -213,51 +308,44 @@ class RecourseSolver:
         row_codes: Mapping[str, int],
         alpha: float = 0.8,
         max_refinements: int = 4,
+        mode: str = "exact",
     ) -> Recourse:
         """Compute minimal-cost recourse for one individual.
 
         ``alpha`` is the target sufficiency; Eq. (28) converts it into the
         probability threshold ``Pr(o|a,k) + alpha * Pr(o'|a,k)``. Raises
         :class:`RecourseInfeasibleError` when no intervention on the
-        actionable set achieves it.
+        actionable set achieves it.  ``mode="anytime"`` returns the
+        greedy LP rounding with a certified ``optimality_gap`` instead
+        of the exact optimum.
         """
         check_probability(alpha, "alpha")
+        _check_mode(mode)
         context = {n: int(row_codes[n]) for n in self.context_names}
         current = {a: int(row_codes[a]) for a in self.actionable}
-        base_prob = self._logit.probability_codes({**current, **context})
-        return self._solve_from_base(
-            current, context, base_prob, alpha, max_refinements
+        base_logit = float(self._logit.score_codes({**current, **context}))
+        result = recourse_kernel.solve_signature(
+            self._skeleton(current),
+            base_logit,
+            alpha,
+            max_refinements,
+            mode=mode,
+            engine=self.engine,
+            node_limit=self.max_nodes,
         )
+        self._absorb_stats(result)
+        return self._materialize(result, current, alpha, mode)
 
-    def _solve_from_base(
+    def _materialize(
         self,
+        result: Mapping[str, Any],
         current: Mapping[str, int],
-        context: Mapping[str, int],
-        base_prob: float,
         alpha: float,
-        max_refinements: int,
+        mode: str,
     ) -> Recourse:
-        """The threshold/refine loop, given an already-scored base probability."""
-        table = self._est.table
-        if base_prob >= alpha:
-            # Constraint (25) already holds with delta = 0: the paper's
-            # "no action is taken" case.
-            return Recourse(
-                actions=[],
-                total_cost=0.0,
-                estimated_sufficiency=1.0,
-                estimated_probability=base_prob,
-                threshold=base_prob,
-                n_constraints=0,
-                n_variables=0,
-            )
-        threshold = base_prob + alpha * (1.0 - base_prob)
-        threshold = min(threshold, 1.0 - 1e-6)
-
-        last_error: Exception | None = None
-        for _refine in range(max_refinements):
-            program = self._build_program({**current, **context}, threshold)
-            if program.n_variables == 0:
+        """Turn a kernel result dict into a :class:`Recourse` (or raise)."""
+        if result["status"] == "infeasible":
+            if result["reason"] == "no_candidates":
                 # No candidate action exists (all actionable attributes
                 # are stuck at their only value) and the threshold is not
                 # yet met: provably infeasible.
@@ -265,35 +353,47 @@ class RecourseSolver:
                     f"no candidate values on {self.actionable} and the "
                     f"target probability is not met"
                 )
-            try:
-                solution = solve_binary_program(program)
-            except RecourseInfeasibleError as exc:
-                last_error = exc
-                break
-            chosen = {
-                attr_code: 1 for attr_code, v in solution.values.items() if v == 1
-            }
-            new_codes = dict(current)
-            for (attribute, code) in chosen:
-                new_codes[attribute] = code
-            achieved = self._logit.probability_codes({**new_codes, **context})
-            suf = self._sufficiency(current, new_codes, context)
-            if suf >= alpha - 1e-9:
-                actions = self._actions(table, current, new_codes)
-                return Recourse(
-                    actions=actions,
-                    total_cost=solution.objective,
-                    estimated_sufficiency=suf,
-                    estimated_probability=achieved,
-                    threshold=threshold,
-                    n_constraints=program.n_constraints,
-                    n_variables=program.n_variables,
-                )
-            # Surrogate too optimistic: tighten and re-solve.
-            threshold = min(1.0 - 1e-6, threshold + 0.5 * (1.0 - threshold))
-        raise RecourseInfeasibleError(
-            f"no intervention on {self.actionable} reaches sufficiency {alpha}"
-        ) from last_error
+            raise RecourseInfeasibleError(
+                f"no intervention on {self.actionable} reaches sufficiency {alpha}"
+            )
+        if result["status"] == "empty":
+            # Constraint (25) already holds with delta = 0: the paper's
+            # "no action is taken" case.
+            return Recourse(
+                actions=(),
+                total_cost=0.0,
+                estimated_sufficiency=1.0,
+                estimated_probability=result["probability"],
+                threshold=result["probability"],
+                n_constraints=0,
+                n_variables=0,
+                optimality_gap=0.0,
+                mode=mode,
+            )
+        n_constraints, n_variables = self._program_shape(self._current_key(current))
+        new_codes = dict(current)
+        for attribute in self.actionable:
+            if attribute in result["chosen"]:
+                new_codes[attribute] = int(result["chosen"][attribute])
+        actions = self._actions(self._est.table, current, new_codes)
+        return Recourse(
+            actions=actions,
+            total_cost=float(result["objective"]),
+            estimated_sufficiency=result["sufficiency"],
+            estimated_probability=result["probability"],
+            threshold=result["threshold"],
+            n_constraints=n_constraints,
+            n_variables=n_variables,
+            optimality_gap=float(result["gap"]),
+            mode=mode,
+        )
+
+    def _absorb_stats(self, result: Mapping[str, Any]) -> None:
+        stats = result.get("stats", {})
+        self._counters["signature_solves"] += 1
+        self._counters["certified_by_lp_bound"] += stats.get("certified", 0)
+        self._counters["donor_seeded_searches"] += stats.get("donor_seeded", 0)
+        self._counters["search_nodes"] += stats.get("nodes", 0)
 
     def solve_batch(
         self,
@@ -301,27 +401,44 @@ class RecourseSolver:
         alpha: float = 0.8,
         max_refinements: int = 4,
         on_infeasible: str = "raise",
+        workers: int | None = None,
+        mode: str = "exact",
+        mp_context: str | None = None,
     ) -> list[Recourse | None]:
         """Minimal-cost recourse for a whole cohort.
 
         Equivalent to ``[self.solve(row, alpha) for row in rows_codes]``
-        but amortised three ways: base probabilities for every row are
-        scored through the logit model in *one* matrix pass; individuals
-        are grouped by their ``(current actionable codes, context)``
-        signature so each distinct 0-1 program is built and solved once
-        (categorical cohorts collide heavily); and solved signatures are
-        memoised across calls keyed by ``(signature, alpha)``, so a
-        follow-up audit at the same threshold never re-solves.
+        but amortised: base log-odds for every row are scored through
+        the logit model in *one* matrix pass; individuals are grouped by
+        their ``(current actionable codes, context)`` signature so each
+        distinct 0-1 program is solved once (categorical cohorts collide
+        heavily); solved signatures are memoised across calls keyed by
+        ``(signature, alpha, max_refinements, mode)``; and within a
+        batch, each signature's search is warm-started from the nearest
+        (Hamming distance on actionable codes) already-solved neighbour.
+
+        ``workers > 1`` partitions the unsolved signatures into
+        fixed-size chunks and solves them on a ``ProcessPoolExecutor``.
+        Chunk boundaries, item order and warm-start neighbourhoods never
+        depend on the worker count, so the results are bit-identical to
+        the serial path — ``workers`` is purely a wall-clock knob (and
+        small batches below :attr:`parallel_threshold` stay inline,
+        where a pool could only lose).  ``mp_context`` forces a
+        multiprocessing start method (default: ``fork`` where available,
+        else ``spawn``; payloads are spawn-safe plain data either way).
 
         ``on_infeasible`` is ``"raise"`` (first infeasible individual
         aborts the batch, mirroring the scalar loop) or ``"none"``
         (infeasible rows yield ``None`` — the cohort-audit mode).
         """
         check_probability(alpha, "alpha")
+        _check_mode(mode)
         if on_infeasible not in ("raise", "none"):
             raise ValueError(
                 f"on_infeasible must be 'raise' or 'none', got {on_infeasible!r}"
             )
+        if workers is not None and int(workers) < 0:
+            raise ValueError(f"workers must be >= 0, got {workers!r}")
         rows_codes = list(rows_codes)
         if not rows_codes:
             return []
@@ -331,33 +448,90 @@ class RecourseSolver:
             dtype=np.int64,
         )
         signatures, inverse = np.unique(matrix, axis=0, return_inverse=True)
-        # The memo key includes the refinement budget: a signature found
-        # infeasible under a small budget may become feasible with more
-        # threshold refinements, and must then be re-solved.
+        # The memo key includes the refinement budget and mode: a
+        # signature found infeasible under a small budget may become
+        # feasible with more threshold refinements, and an anytime
+        # answer must never be served where an exact one was asked.
         need = [
             i
             for i, signature in enumerate(map(tuple, signatures))
-            if (signature, alpha, max_refinements) not in self._solutions
+            if (signature, alpha, max_refinements, mode) not in self._solutions
         ]
         if need:
-            base_probs = self._logit.probability_codes_batch(signatures[need])
-            for base_prob, i in zip(base_probs, need):
+            # np.unique sorts signatures lexicographically with the
+            # actionable codes leading, so consecutive unsolved items
+            # are natural warm-start neighbours.
+            base_logits = self._logit.score_codes_batch(signatures[need])
+            items = []
+            for base_logit, i in zip(base_logits, need):
                 signature = tuple(int(c) for c in signatures[i])
-                current = dict(zip(self.actionable, signature))
-                context = dict(
-                    zip(self.context_names, signature[len(self.actionable):])
+                key = signature[: len(self.actionable)]
+                self._skeleton_payload(key)  # ensure cached
+                items.append(
+                    {
+                        "key": key,
+                        "signature": signature,
+                        "base_logit": float(base_logit),
+                    }
                 )
-                try:
-                    solved = self._solve_from_base(
-                        current, context, float(base_prob), alpha, max_refinements
+            payloads = []
+            for start in range(0, len(items), CHUNK_SIZE):
+                chunk = items[start : start + CHUNK_SIZE]
+                payloads.append(
+                    {
+                        "skeletons": {
+                            key: self._skeleton_payloads[key]
+                            for key in {item["key"] for item in chunk}
+                        },
+                        "items": [
+                            {"key": item["key"], "base_logit": item["base_logit"]}
+                            for item in chunk
+                        ],
+                        "alpha": float(alpha),
+                        "max_refinements": int(max_refinements),
+                        "mode": mode,
+                        "engine": self.engine,
+                        "node_limit": self.max_nodes,
+                    }
+                )
+            use_pool = (
+                workers is not None
+                and int(workers) > 1
+                and len(payloads) > 1
+                and len(items) >= self.parallel_threshold
+            )
+            if use_pool:
+                chunk_results = self._run_chunks_parallel(
+                    payloads, int(workers), mp_context
+                )
+                self._counters["parallel_batches"] += 1
+            else:
+                chunk_results = [
+                    solve_chunk(
+                        payload,
+                        skeletons={
+                            key: self._skeleton_for_key(key)
+                            for key in payload["skeletons"]
+                        },
                     )
+                    for payload in payloads
+                ]
+            for item, result in zip(
+                items, (r for chunk in chunk_results for r in chunk)
+            ):
+                self._absorb_stats(result)
+                current = dict(zip(self.actionable, item["key"]))
+                try:
+                    solved = self._materialize(result, current, alpha, mode)
                 except RecourseInfeasibleError as exc:
                     solved = exc
-                self._solutions[(signature, alpha, max_refinements)] = solved
+                self._solutions[
+                    (item["signature"], alpha, max_refinements, mode)
+                ] = solved
         out: list[Recourse | None] = []
         for row_index, unique_index in enumerate(inverse):
             signature = tuple(int(c) for c in signatures[unique_index])
-            solved = self._solutions[(signature, alpha, max_refinements)]
+            solved = self._solutions[(signature, alpha, max_refinements, mode)]
             if isinstance(solved, RecourseInfeasibleError):
                 if on_infeasible == "raise":
                     raise RecourseInfeasibleError(
@@ -368,8 +542,26 @@ class RecourseSolver:
                 out.append(solved)
         return out
 
+    @staticmethod
+    def _run_chunks_parallel(
+        payloads: list[dict], workers: int, mp_context: str | None
+    ) -> list[list[dict]]:
+        """Map :func:`solve_chunk` over payloads on a process pool."""
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        method = mp_context or (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        context = mp.get_context(method)
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(payloads)), mp_context=context
+        ) as pool:
+            # pool.map preserves payload order: the merge is deterministic.
+            return list(pool.map(solve_chunk, payloads))
+
     def solution_memo_stats(self) -> dict:
-        """Size counters of the signature-keyed solve caches."""
+        """Size and solve counters of the signature-keyed caches."""
         infeasible = sum(
             isinstance(v, RecourseInfeasibleError)
             for v in self._solutions.values()
@@ -378,29 +570,8 @@ class RecourseSolver:
             "solved_signatures": len(self._solutions),
             "infeasible_signatures": infeasible,
             "program_skeletons": len(self._structures),
+            **self._counters,
         }
-
-    def _sufficiency(
-        self,
-        current: Mapping[str, int],
-        new_codes: Mapping[str, int],
-        context: Mapping[str, int],
-    ) -> float:
-        changed = {a: c for a, c in new_codes.items() if c != current[a]}
-        if not changed:
-            return self._logit.probability_codes({**current, **context})
-        baseline = {a: current[a] for a in changed}
-        # Exact-estimator check of the surrogate's promise; the logit
-        # model conditions on the individual's full context so it is the
-        # natural local sufficiency estimate as well.
-        probability_new = self._logit.probability_codes({**new_codes, **context})
-        probability_old = self._logit.probability_codes({**current, **context})
-        if probability_old >= 1.0:
-            return 1.0
-        return max(
-            0.0,
-            min(1.0, (probability_new - probability_old) / (1.0 - probability_old)),
-        )
 
     def _actions(
         self,

@@ -1,0 +1,316 @@
+"""Pure signature-solving kernel behind :class:`RecourseSolver`.
+
+One function, :func:`solve_signature`, runs the full threshold/refine
+loop (Section 4.2's cut loop) for a single ``(current codes, context)``
+signature given only plain data: a :class:`SignatureSkeleton`, the
+signature's base log-odds, and the solve options.  It holds no table,
+estimator, or solver state, so the exact same code path backs
+
+* the scalar :meth:`RecourseSolver.solve`,
+* the serial batch loop, and
+* :func:`solve_chunk`, the picklable unit of work shipped to
+  ``ProcessPoolExecutor`` workers.
+
+Serial and parallel solves are therefore bit-identical by construction:
+the parent only decides *where* chunks run, never *how*.
+
+Two engines are supported.  ``engine="parametric"`` (default) uses the
+cached parametric-dual bounds from :mod:`repro.opt.parametric`: a greedy
+cover certified against the LP root bound handles most signatures
+without any search, and the rest run a depth-first exact search whose
+node bounds are vectorised grid evaluations.  ``engine="milp"`` keeps
+the original scipy/HiGHS MILP route, retained as the independent oracle
+the property suite checks the parametric engine against.
+
+``mode="anytime"`` skips the exact search entirely and returns the
+greedy cover together with a *certified* optimality gap: the reported
+``gap`` is ``greedy cost - LP root bound at the first threshold``, and
+since the exact cost is sandwiched between that LP bound and the greedy
+cost (costs are monotone in the threshold), the true exact-vs-anytime
+difference can never exceed it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.estimation.logit import logit
+from repro.opt.integer_program import IntegerProgram
+from repro.opt.parametric import (
+    FEASIBILITY_TOL,
+    CERTIFICATE_TOL,
+    SignatureSkeleton,
+    greedy_cover,
+    incumbent_from_codes,
+    selection_stats,
+    selection_to_codes,
+    solve_exact,
+)
+from repro.utils.exceptions import RecourseInfeasibleError
+
+MODES = ("exact", "anytime")
+ENGINES = ("parametric", "milp")
+
+#: chunk granularity for batch solving — fixed (never derived from the
+#: worker count) so the chunking, and with it the warm-start donor
+#: neighbourhoods, are identical however many workers execute them.
+CHUNK_SIZE = 64
+
+
+def _sigmoid(z: float) -> float:
+    return float(1.0 / (1.0 + np.exp(-z)))
+
+
+def _solve_ip_milp(
+    skeleton: SignatureSkeleton, needed: float, node_limit: int | None
+) -> tuple[dict[str, int], float]:
+    """Original MILP route: build the IntegerProgram and call HiGHS."""
+    from repro.opt.branch_and_bound import solve_binary_program
+
+    program = IntegerProgram()
+    gain_coeffs: dict = {}
+    for a, attribute in enumerate(skeleton.attributes):
+        exclusivity: dict = {}
+        for code, cost, gain in zip(
+            skeleton.codes[a], skeleton.costs[a], skeleton.gains[a]
+        ):
+            name = (attribute, int(code))
+            program.add_variable(name, cost=float(cost))
+            gain_coeffs[name] = float(gain)
+            exclusivity[name] = 1.0
+        if exclusivity:
+            program.add_le_constraint(exclusivity, 1.0)
+    program.add_ge_constraint(gain_coeffs, needed)
+    solution = solve_binary_program(program, max_nodes=node_limit or 200_000)
+    chosen = {
+        attribute: int(code)
+        for (attribute, code), v in solution.values.items()
+        if v == 1
+    }
+    return chosen, float(solution.objective)
+
+
+def solve_signature(
+    skeleton: SignatureSkeleton,
+    base_logit: float,
+    alpha: float,
+    max_refinements: int,
+    mode: str = "exact",
+    engine: str = "parametric",
+    node_limit: int | None = 200_000,
+    donors: Sequence[Mapping[str, int]] = (),
+) -> dict:
+    """Threshold/refine loop for one signature; returns a plain dict.
+
+    ``donors`` are action sets of already-solved nearby signatures; when
+    mapped onto this skeleton they only *seed* the exact search's upper
+    bound (see :data:`repro.opt.parametric.SEED_EPS`), so the returned
+    solution is identical with or without them — warm starts change
+    wall-clock, never answers.
+
+    Result statuses: ``"empty"`` (base probability already meets
+    ``alpha``), ``"ok"`` (solved; ``chosen`` maps attribute to new
+    code), ``"infeasible"`` (with a ``reason`` of ``"no_candidates"``
+    or ``"unreachable"``).
+    """
+    base_prob = _sigmoid(base_logit)
+    stats = {"nodes": 0, "refinements": 0, "certified": 0, "donor_seeded": 0}
+    if base_prob >= alpha:
+        return {"status": "empty", "probability": base_prob, "stats": stats}
+    if skeleton.n_variables == 0:
+        return {
+            "status": "infeasible",
+            "reason": "no_candidates",
+            "probability": base_prob,
+            "stats": stats,
+        }
+    threshold = min(base_prob + alpha * (1.0 - base_prob), 1.0 - 1e-6)
+
+    first_lp_bound: float | None = None
+    for _refine in range(max_refinements):
+        stats["refinements"] += 1
+        needed = logit(threshold) - base_logit
+        lp_root = skeleton.lp_bound(needed)
+        if first_lp_bound is None:
+            first_lp_bound = lp_root
+        try:
+            if mode == "anytime":
+                # Greedy rounding against the parametric LP bound,
+                # regardless of engine: the point of anytime mode is to
+                # avoid the search entirely.
+                covered = greedy_cover(skeleton, needed)
+                if covered is None:
+                    break
+                selection, objective = covered
+                chosen = selection_to_codes(skeleton, selection)
+                gain_sum = selection_stats(skeleton, selection)[1]
+            elif engine == "milp":
+                chosen, objective = _solve_ip_milp(skeleton, needed, node_limit)
+                gain_sum = _gain_of(skeleton, chosen)
+            else:
+                solved = _solve_exact_parametric(
+                    skeleton, needed, lp_root, node_limit, donors, stats
+                )
+                if solved is None:
+                    break
+                selection, objective = solved
+                chosen = selection_to_codes(skeleton, selection)
+                gain_sum = selection_stats(skeleton, selection)[1]
+        except RecourseInfeasibleError:
+            # Proven infeasible (or budget exhausted) at this threshold;
+            # tightening it cannot help.
+            break
+        achieved = _sigmoid(base_logit + gain_sum)
+        if not chosen:
+            sufficiency = base_prob
+        elif base_prob >= 1.0:
+            sufficiency = 1.0
+        else:
+            sufficiency = max(
+                0.0, min(1.0, (achieved - base_prob) / (1.0 - base_prob))
+            )
+        if sufficiency >= alpha - 1e-9:
+            gap = 0.0
+            if mode == "anytime" and np.isfinite(first_lp_bound):
+                gap = max(0.0, float(objective) - float(first_lp_bound))
+            return {
+                "status": "ok",
+                "chosen": chosen,
+                "objective": float(objective),
+                "threshold": threshold,
+                "sufficiency": sufficiency,
+                "probability": achieved,
+                "gap": gap,
+                "stats": stats,
+            }
+        # Surrogate too optimistic: tighten and re-solve.
+        threshold = min(1.0 - 1e-6, threshold + 0.5 * (1.0 - threshold))
+    return {
+        "status": "infeasible",
+        "reason": "unreachable",
+        "probability": base_prob,
+        "stats": stats,
+    }
+
+
+def _solve_exact_parametric(
+    skeleton: SignatureSkeleton,
+    needed: float,
+    lp_root: float,
+    node_limit: int | None,
+    donors: Sequence[Mapping[str, int]],
+    stats: dict,
+) -> tuple[np.ndarray, float] | None:
+    """Greedy certificate, warm-started exact search otherwise."""
+    if not np.isfinite(lp_root):
+        return None
+    covered = greedy_cover(skeleton, needed)
+    if covered is None:
+        return None
+    selection, greedy_cost = covered
+    if greedy_cost <= lp_root + CERTIFICATE_TOL:
+        # Greedy already meets the LP lower bound: certified optimal,
+        # no search needed.  The certificate is donor-independent, so
+        # it fires identically in scalar and batch solves.
+        stats["certified"] += 1
+        return selection, greedy_cost
+    seed_cost = greedy_cost
+    for chosen in donors:
+        mapped = incumbent_from_codes(skeleton, chosen, needed)
+        if mapped is not None and mapped < seed_cost:
+            seed_cost = mapped
+            stats["donor_seeded"] = 1
+    exact_sel, objective, nodes = solve_exact(
+        skeleton, needed, seed_cost, node_limit=node_limit
+    )
+    stats["nodes"] += nodes
+    if exact_sel is None:  # pragma: no cover - defensive; seed is feasible
+        return selection, greedy_cost
+    return exact_sel, objective
+
+
+def _gain_of(skeleton: SignatureSkeleton, chosen: Mapping[str, int]) -> float:
+    """Total linearised gain of an attribute->code action set."""
+    total = 0.0
+    index = {a: i for i, a in enumerate(skeleton.attributes)}
+    for attribute, code in chosen.items():
+        a = index[attribute]
+        hits = np.nonzero(skeleton.codes[a] == int(code))[0]
+        if len(hits):
+            total += float(skeleton.gains[a][hits[0]])
+    return total
+
+
+def solve_chunk(
+    payload: dict,
+    skeletons: Mapping[tuple, SignatureSkeleton] | None = None,
+) -> list[dict]:
+    """Solve one chunk of signature work items; the process-pool unit.
+
+    ``payload`` is a plain picklable dict::
+
+        {
+          "skeletons": {current_key: skeleton_payload, ...},
+          "items": [{"key": current_key, "base_logit": float}, ...],
+          "alpha": float, "max_refinements": int,
+          "mode": str, "engine": str, "node_limit": int,
+        }
+
+    Items are processed in order; each solved item's action set joins
+    the chunk-local donor pool, and later items are warm-started from
+    the donor whose current actionable codes are nearest in Hamming
+    distance (ties -> earliest solved).  Because chunk boundaries and
+    item order are fixed by the parent (sorted signatures, fixed
+    :data:`CHUNK_SIZE`), the donor each item sees — and hence the whole
+    computation — is identical whether chunks run inline or on any
+    number of workers.
+
+    ``skeletons`` optionally supplies prebuilt skeleton objects (the
+    inline path reuses the parent's cache); workers rebuild them from
+    the payload.  Skeleton derivation is a pure function of the
+    payload, so both routes compute identical numbers.
+    """
+    if skeletons is None:
+        skeletons = {
+            key: SignatureSkeleton.from_payload(p)
+            for key, p in payload["skeletons"].items()
+        }
+    donor_keys: list[tuple[int, ...]] = []
+    donor_chosen: list[dict[str, int]] = []
+    results = []
+    for item in payload["items"]:
+        key = tuple(item["key"])
+        donors: list[dict[str, int]] = []
+        parametric_exact = (
+            payload["mode"] == "exact" and payload["engine"] == "parametric"
+        )
+        if donor_keys and parametric_exact:
+            distances = (np.array(donor_keys) != np.array(key)).sum(axis=1)
+            donors = [donor_chosen[int(np.argmin(distances))]]
+        result = solve_signature(
+            skeletons[key],
+            float(item["base_logit"]),
+            payload["alpha"],
+            payload["max_refinements"],
+            mode=payload["mode"],
+            engine=payload["engine"],
+            node_limit=payload["node_limit"],
+            donors=donors,
+        )
+        results.append(result)
+        if result["status"] == "ok" and result["chosen"]:
+            donor_keys.append(key)
+            donor_chosen.append(result["chosen"])
+    return results
+
+
+__all__ = [
+    "CHUNK_SIZE",
+    "ENGINES",
+    "FEASIBILITY_TOL",
+    "MODES",
+    "solve_chunk",
+    "solve_signature",
+]

@@ -27,8 +27,19 @@ class BranchAndBoundSolver:
     def __init__(self, max_nodes: int = 200_000):
         self.max_nodes = max_nodes
 
-    def solve(self, program: IntegerProgram) -> IPSolution:
-        """Solve ``program``; raise :class:`RecourseInfeasibleError` if empty."""
+    def solve(
+        self,
+        program: IntegerProgram,
+        incumbent: dict | np.ndarray | None = None,
+    ) -> IPSolution:
+        """Solve ``program``; raise :class:`RecourseInfeasibleError` if empty.
+
+        ``incumbent`` optionally warm-starts the search with a known
+        feasible 0-1 assignment (a ``{variable name: 0/1}`` mapping or a
+        vector in variable order): its objective becomes the initial
+        upper bound, so sibling-signature solutions prune the tree from
+        node one.  An infeasible incumbent is ignored.
+        """
         c, A_ub, b_ub, A_eq, b_eq = program.matrices()
         n = program.n_variables
         if n == 0:
@@ -43,6 +54,11 @@ class BranchAndBoundSolver:
 
         best_objective = np.inf
         best_x: np.ndarray | None = None
+        if incumbent is not None:
+            x0 = self._incumbent_vector(program, incumbent)
+            if x0 is not None and self._feasible(x0, A_ub, b_ub, A_eq, b_eq):
+                best_objective = float(c @ x0)
+                best_x = x0
         n_nodes = 0
 
         while heap:
@@ -86,6 +102,28 @@ class BranchAndBoundSolver:
         )
 
     @staticmethod
+    def _incumbent_vector(program: IntegerProgram, incumbent) -> np.ndarray | None:
+        """Normalise an incumbent to a 0-1 vector in variable order."""
+        if isinstance(incumbent, np.ndarray):
+            x0 = np.asarray(incumbent, dtype=np.float64)
+        else:
+            try:
+                x0 = program.vector_from_assignment(dict(incumbent))
+            except (TypeError, ValueError, KeyError):
+                return None
+        if len(x0) != program.n_variables:
+            return None
+        return np.clip(np.round(x0), 0.0, 1.0)
+
+    @staticmethod
+    def _feasible(x, A_ub, b_ub, A_eq, b_eq, tol: float = 1e-9) -> bool:
+        if A_ub is not None and np.any(A_ub @ x > b_ub + tol):
+            return False
+        if A_eq is not None and np.any(np.abs(A_eq @ x - b_eq) > tol):
+            return False
+        return True
+
+    @staticmethod
     def _relax(c, A_ub, b_ub, A_eq, b_eq, lo, hi):
         """Solve the LP relaxation with variable bounds [lo, hi]."""
         result = linprog(
@@ -102,12 +140,21 @@ class BranchAndBoundSolver:
         return float(result.fun), np.asarray(result.x)
 
 
-def _solve_with_highs_milp(program: IntegerProgram) -> IPSolution | None:
+def _solve_with_highs_milp(
+    program: IntegerProgram,
+    max_nodes: int | None = None,
+    time_limit: float | None = None,
+    mip_rel_gap: float | None = None,
+) -> IPSolution | None:
     """Fast path: scipy's native HiGHS MILP solver.
 
-    Returns ``None`` when the backend is unavailable so the caller can
-    fall back to the pure-Python branch and bound; raises
-    :class:`RecourseInfeasibleError` on proven infeasibility.
+    Node/time/gap budgets are forwarded through HiGHS ``options`` so the
+    limits bind here too, not only in the pure-Python fallback — a
+    pathological program can no longer hang a serving thread.  Returns
+    ``None`` when the backend is unavailable so the caller can fall back
+    to the pure-Python branch and bound; raises
+    :class:`RecourseInfeasibleError` on proven infeasibility or an
+    exhausted budget.
     """
     try:
         from scipy.optimize import Bounds, LinearConstraint, milp
@@ -120,14 +167,27 @@ def _solve_with_highs_milp(program: IntegerProgram) -> IPSolution | None:
         constraints.append(LinearConstraint(A_ub, -np.inf, b_ub))
     if A_eq is not None:
         constraints.append(LinearConstraint(A_eq, b_eq, b_eq))
+    options: dict = {}
+    if max_nodes is not None:
+        options["node_limit"] = int(max_nodes)
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    if mip_rel_gap is not None:
+        options["mip_rel_gap"] = float(mip_rel_gap)
     result = milp(
         c,
         constraints=constraints,
         integrality=np.ones(n),
         bounds=Bounds(0, 1),
+        options=options,
     )
     if result.status == 2:  # infeasible
         raise RecourseInfeasibleError("no feasible integral assignment exists")
+    if result.status == 1:  # iteration / node / time limit reached
+        raise RecourseInfeasibleError(
+            f"MILP node/time budget exhausted (max_nodes={max_nodes}, "
+            f"time_limit={time_limit})"
+        )
     if not result.success:  # pragma: no cover - solver hiccup
         return None
     return IPSolution(
@@ -137,16 +197,29 @@ def _solve_with_highs_milp(program: IntegerProgram) -> IPSolution | None:
     )
 
 
-def solve_binary_program(program: IntegerProgram, max_nodes: int = 200_000) -> IPSolution:
+def solve_binary_program(
+    program: IntegerProgram,
+    max_nodes: int = 200_000,
+    time_limit: float | None = None,
+    mip_rel_gap: float | None = None,
+    incumbent: dict | np.ndarray | None = None,
+) -> IPSolution:
     """Solve ``program`` exactly.
 
     Uses scipy's HiGHS MILP backend when available (orders of magnitude
     faster on the ~200-binary recourse programs) and falls back to the
-    pure-Python :class:`BranchAndBoundSolver` otherwise.
+    pure-Python :class:`BranchAndBoundSolver` otherwise.  ``max_nodes``,
+    ``time_limit`` and ``mip_rel_gap`` bound the search in both routes;
+    ``incumbent`` warm-starts the pure-Python fallback (HiGHS via scipy
+    exposes no warm-start hook).
     """
     if program.n_variables == 0:
         return IPSolution(values={}, objective=0.0, n_nodes=0)
-    solution = _solve_with_highs_milp(program)
+    solution = _solve_with_highs_milp(
+        program, max_nodes=max_nodes, time_limit=time_limit, mip_rel_gap=mip_rel_gap
+    )
     if solution is not None:
         return solution
-    return BranchAndBoundSolver(max_nodes=max_nodes).solve(program)  # pragma: no cover
+    return BranchAndBoundSolver(max_nodes=max_nodes).solve(  # pragma: no cover
+        program, incumbent=incumbent
+    )

@@ -112,6 +112,11 @@ def render_recourse(recourse: Recourse, title: str | None = None) -> str:
         f"total cost {recourse.total_cost:.1f}; estimated sufficiency "
         f"{recourse.estimated_sufficiency:.0%}"
     )
+    if recourse.mode != "exact":
+        lines.append(
+            f"mode {recourse.mode}: certified within "
+            f"{recourse.optimality_gap:.3f} of the optimal cost"
+        )
     return "\n".join(lines)
 
 
@@ -143,6 +148,15 @@ def render_recourse_audit(audit: Mapping, title: str | None = None) -> str:
             lines.append(
                 f"{attribute:{width}s} {_bar(count / n)} {count}"
             )
+    solver = audit.get("solver") or {}
+    if solver:
+        mode = audit.get("mode", "exact")
+        lines.append(
+            f"solver ({mode}): {solver.get('solved_signatures', 0)} distinct "
+            f"signatures, {solver.get('search_nodes', 0)} search nodes, "
+            f"{solver.get('certified_by_lp_bound', 0)} LP-certified, "
+            f"{solver.get('donor_seeded_searches', 0)} warm-started"
+        )
     return "\n".join(lines)
 
 

@@ -24,8 +24,8 @@ Endpoints (all responses are JSON)::
     POST /v1/explain/context   {"context": {attr: value}, ...}
     POST /v1/explain/local     {"index"? | "individual"?, "attributes"?}
     POST /v1/explain/local_batch {"indices": [i, ...], "attributes"?}
-    POST /v1/recourse          {"index", "actionable"?, "alpha"?}
-    POST /v1/recourse/batch    {"indices"?, "actionable"?, "alpha"?}
+    POST /v1/recourse          {"index", "actionable"?, "alpha"?, "mode"?}
+    POST /v1/recourse/batch    {"indices"?, "actionable"?, "alpha"?, "mode"?, "workers"?}
     POST /v1/audit             {"protected"?, "tolerance"?}
     POST /v1/scores            {"contrasts": [[values, baselines], ...], "context"?}
     POST /v1/update            {"insert": [row, ...], "delete": [index, ...]}
@@ -126,6 +126,12 @@ def _as_index_tuple(value: Any, key: str) -> tuple[int, ...]:
     return tuple(_as_int(v, key) for v in value)
 
 
+def _as_mode(value: Any) -> str:
+    if value not in ("exact", "anytime"):
+        raise BadRequest('"mode" must be "exact" or "anytime"')
+    return str(value)
+
+
 def _build_request(path: str, payload: Mapping[str, Any]):
     """Translate (endpoint, JSON body) into a session request object."""
     if not isinstance(payload, Mapping):
@@ -174,9 +180,15 @@ def _build_request(path: str, payload: Mapping[str, Any]):
             index=_as_int(payload["index"], "index"),
             actionable=_opt_tuple(payload, "actionable"),
             alpha=_as_number(payload.get("alpha", 0.8), "alpha"),
+            mode=_as_mode(payload.get("mode", "exact")),
         )
     if path == "/v1/recourse/batch":
         indices = payload.get("indices")
+        workers = payload.get("workers")
+        if workers is not None:
+            workers = _as_int(workers, "workers")
+            if workers < 0:
+                raise BadRequest('"workers" must be >= 0')
         return RecourseBatchRequest(
             indices=(
                 _as_index_tuple(indices, "indices")
@@ -185,6 +197,8 @@ def _build_request(path: str, payload: Mapping[str, Any]):
             ),
             actionable=_opt_tuple(payload, "actionable"),
             alpha=_as_number(payload.get("alpha", 0.8), "alpha"),
+            mode=_as_mode(payload.get("mode", "exact")),
+            workers=workers,
         )
     if path == "/v1/audit":
         return AuditRequest(

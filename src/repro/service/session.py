@@ -133,6 +133,8 @@ def recourse_to_dict(recourse: Recourse) -> dict:
             "estimated_sufficiency": recourse.estimated_sufficiency,
             "estimated_probability": recourse.estimated_probability,
             "is_empty": recourse.is_empty,
+            "mode": recourse.mode,
+            "optimality_gap": recourse.optimality_gap,
             "statements": recourse.statements(),
         }
     )
@@ -238,6 +240,13 @@ class RecourseBatchRequest:
     indices: tuple[int, ...] | None = None
     actionable: tuple[str, ...] | None = None
     alpha: float = 0.8
+    #: solver mode ("exact" | "anytime") — part of the cache key, since
+    #: anytime answers carry gaps and must not be served as exact ones.
+    mode: str = "exact"
+    #: worker-process count for the solve. Deliberately NOT part of
+    #: ``params()``: parallel and serial results are bit-identical, so
+    #: requests differing only in ``workers`` share a cache entry.
+    workers: int | None = None
 
     def params(self) -> dict:
         return {
@@ -248,6 +257,7 @@ class RecourseBatchRequest:
             ),
             "actionable": self.actionable,
             "alpha": self.alpha,
+            "mode": self.mode,
         }
 
 
@@ -260,12 +270,14 @@ class RecourseRequest:
     index: int = 0
     actionable: tuple[str, ...] | None = None
     alpha: float = 0.8
+    mode: str = "exact"
 
     def params(self) -> dict:
         return {
             "index": self.index,
             "actionable": self.actionable,
             "alpha": self.alpha,
+            "mode": self.mode,
         }
 
 
@@ -682,7 +694,9 @@ class ExplainerSession:
             actionable = self._actionable_for(r.actionable)
             out.append(
                 recourse_to_dict(
-                    self.lewis.recourse(r.index, actionable=actionable, alpha=r.alpha)
+                    self.lewis.recourse(
+                        r.index, actionable=actionable, alpha=r.alpha, mode=r.mode
+                    )
                 )
             )
         return out
@@ -690,8 +704,9 @@ class ExplainerSession:
     def _do_recourse_batches(
         self, requests: list[RecourseBatchRequest]
     ) -> list[dict]:
-        # One logit matrix pass for base probabilities, one IP solve per
-        # distinct (current codes, context) signature.
+        # One logit matrix pass for base probabilities, one warm-started
+        # signature solve per distinct (current codes, context) signature;
+        # r.workers > 1 spreads unsolved signatures over a process pool.
         out = []
         for r in requests:
             actionable = self._actionable_for(r.actionable)
@@ -699,6 +714,8 @@ class ExplainerSession:
                 actionable,
                 alpha=r.alpha,
                 indices=list(r.indices) if r.indices is not None else None,
+                workers=r.workers,
+                mode=r.mode,
             )
             recourses = audit.pop("recourses")
             audit["recourses"] = [
