@@ -12,7 +12,9 @@ The subcommands mirror the library's main entry points:
   named tenant in an artifact store,
 * ``restore``  — rebuild a tenant from snapshot + write-ahead log and
   verify its tensors against a fresh recount,
-* ``registry`` — ``ls`` / ``add`` / ``rm`` tenants of a store.
+* ``registry`` — ``ls`` / ``add`` / ``rm`` tenants of a store,
+* ``monitor``  — ``add`` / ``ls`` / ``rm`` / ``watch`` standing drift
+  monitors on a *running* service over HTTP (long-poll alert stream).
 
 Training commands build a black box on a fresh replica of the chosen
 dataset; results print as plain-text charts (see :mod:`repro.report`).
@@ -313,6 +315,109 @@ def cmd_restore(args) -> int:
     return 0
 
 
+def _literal(value: str):
+    """Coerce a CLI string to int/float when it looks like one."""
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    return value
+
+
+def _monitor_base_url(args) -> str:
+    base = args.url.rstrip("/")
+    if not base.endswith("/v1"):
+        base += "/v1"
+    if args.tenant:
+        base += f"/{args.tenant}"
+    return base
+
+
+def _http_json(url: str, method: str = "GET", payload=None) -> dict:
+    import json as _json
+    from urllib import error, request
+
+    data = _json.dumps(payload).encode() if payload is not None else None
+    req = request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with request.urlopen(req) as resp:
+            return _json.loads(resp.read())
+    except error.HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        raise SystemExit(f"HTTP {exc.code} from {url}: {body}") from exc
+    except error.URLError as exc:
+        raise SystemExit(f"cannot reach {url}: {exc.reason}") from exc
+
+
+def cmd_monitor(args) -> int:
+    from repro.report import render_alert, render_monitor_list
+
+    base = _monitor_base_url(args)
+    if args.monitor_command == "add":
+        params: dict = {}
+        if args.attribute:
+            params["attribute"] = args.attribute
+        if args.value is not None:
+            params["value"] = _literal(args.value)
+        if args.baseline is not None:
+            params["baseline"] = _literal(args.baseline)
+        if args.context:
+            params["context"] = {
+                k: _literal(v) for k, v in _parse_context(args.context).items()
+            }
+        if args.actionable:
+            params["actionable"] = args.actionable
+            params["alpha"] = args.alpha
+            params["probe_size"] = args.probe_size
+        payload: dict = {"kind": args.kind, "params": params}
+        if args.metric:
+            payload["metric"] = args.metric
+        if args.threshold is not None:
+            payload["threshold"] = args.threshold
+        if args.cusum_limit is not None:
+            payload["cusum"] = {
+                "limit": args.cusum_limit, "slack": args.cusum_slack
+            }
+        monitor = _http_json(f"{base}/monitors", "POST", payload)
+        metric = monitor["metric"]
+        print(
+            f"registered {monitor['id']} ({monitor['kind']}) "
+            f"metric={metric} baseline={monitor['baseline'][metric]:.4f}"
+        )
+        return 0
+    if args.monitor_command == "ls":
+        print(render_monitor_list(_http_json(f"{base}/monitors")))
+        return 0
+    if args.monitor_command == "rm":
+        result = _http_json(f"{base}/monitors/{args.id}", "DELETE")
+        print(f"{result['id']}: {'removed' if result['removed'] else 'not found'}")
+        return 0 if result["removed"] else 1
+    if args.monitor_command == "watch":
+        cursor = args.cursor
+        while True:
+            result = _http_json(
+                f"{base}/watch?cursor={cursor}&timeout={args.timeout}"
+            )
+            for alert in result["alerts"]:
+                print(render_alert(alert))
+            if result.get("cursor_truncated"):
+                print(
+                    "(warning: alerts between your cursor and the buffer "
+                    "were dropped; see the monitor journal)",
+                    file=sys.stderr,
+                )
+            cursor = result["cursor"]
+            if not args.follow:
+                if result["timed_out"]:
+                    print(f"(no alerts; cursor {cursor})")
+                return 0
+    raise SystemExit(f"unknown monitor command {args.monitor_command!r}")
+
+
 def cmd_registry(args) -> int:
     from repro.store import ArtifactStore
     from repro.utils.exceptions import StoreError
@@ -531,6 +636,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_rm.add_argument("--store", required=True, metavar="DIR")
     p_rm.add_argument("--name", required=True)
     p_registry.set_defaults(func=cmd_registry)
+
+    p_monitor = sub.add_parser(
+        "monitor", help="manage standing drift monitors on a running service"
+    )
+    mon_sub = p_monitor.add_subparsers(dest="monitor_command", required=True)
+
+    def monitor_common(p):
+        p.add_argument(
+            "--url", default="http://127.0.0.1:8321",
+            help="service base URL (default: %(default)s)",
+        )
+        p.add_argument(
+            "--tenant", default=None, help="registry tenant (default session if omitted)"
+        )
+
+    p_mon_add = mon_sub.add_parser("add", help="register a monitor")
+    monitor_common(p_mon_add)
+    p_mon_add.add_argument(
+        "--kind", required=True,
+        choices=["score", "fairness", "monotonicity", "recourse"],
+    )
+    p_mon_add.add_argument("--metric", default=None)
+    p_mon_add.add_argument("--attribute", default=None)
+    p_mon_add.add_argument("--value", default=None, help="treatment label (score)")
+    p_mon_add.add_argument("--baseline", default=None, help="baseline label (score)")
+    p_mon_add.add_argument(
+        "--context", nargs="*", default=[], metavar="ATTR=VALUE"
+    )
+    p_mon_add.add_argument(
+        "--actionable", nargs="+", default=None, metavar="ATTR",
+        help="actionable attributes (recourse)",
+    )
+    p_mon_add.add_argument("--alpha", type=float, default=0.8)
+    p_mon_add.add_argument("--probe-size", type=int, default=32)
+    p_mon_add.add_argument(
+        "--threshold", type=float, default=None,
+        help="threshold detector: alert when |metric - baseline| exceeds this",
+    )
+    p_mon_add.add_argument(
+        "--cusum-limit", type=float, default=None,
+        help="CUSUM detector limit (fires when an accumulator crosses it)",
+    )
+    p_mon_add.add_argument("--cusum-slack", type=float, default=0.0)
+
+    p_mon_ls = mon_sub.add_parser("ls", help="list monitors")
+    monitor_common(p_mon_ls)
+
+    p_mon_rm = mon_sub.add_parser("rm", help="deregister a monitor")
+    monitor_common(p_mon_rm)
+    p_mon_rm.add_argument("id", help="monitor id, e.g. m1")
+
+    p_mon_watch = mon_sub.add_parser("watch", help="long-poll for drift alerts")
+    monitor_common(p_mon_watch)
+    p_mon_watch.add_argument("--cursor", type=int, default=0)
+    p_mon_watch.add_argument("--timeout", type=float, default=25.0)
+    p_mon_watch.add_argument(
+        "--follow", action="store_true",
+        help="keep polling until interrupted (default: one poll)",
+    )
+    p_monitor.set_defaults(func=cmd_monitor)
     return parser
 
 

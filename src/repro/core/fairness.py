@@ -13,7 +13,43 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
+import numpy as np
+
 from repro.core.lewis import Lewis
+
+
+def group_outcome_counts(
+    engine, attribute: str, outcome: str = "__outcome__"
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(positives, totals)`` per code of ``attribute`` from count tensors.
+
+    Reads the engine's incrementally maintained ``(attribute, outcome)``
+    contingency tensor instead of scanning rows — the O(cardinality)
+    primitive behind streaming fairness monitors. The tensor axes follow
+    the engine's sorted-name order; this normalises to
+    ``(attribute, outcome)``.
+    """
+    names = tuple(sorted((attribute, outcome)))
+    tensor = np.asarray(engine.tensor(names))
+    if names[0] == outcome:
+        tensor = tensor.T
+    return tensor[:, 1], tensor.sum(axis=1)
+
+
+def demographic_disparity_from_counts(
+    positives: np.ndarray, totals: np.ndarray
+) -> float:
+    """Largest positive-rate gap across supported groups, from counts.
+
+    Bit-identical to :meth:`FairnessAuditor.demographic_disparity` (an
+    O(n) mask scan): both reduce to the same integer-count divisions.
+    """
+    rates = [
+        p / t for p, t in zip(positives.tolist(), totals.tolist()) if t > 0
+    ]
+    if len(rates) < 2:
+        return 0.0
+    return float(max(rates) - min(rates))
 
 
 @dataclass(frozen=True)

@@ -146,6 +146,10 @@ class Lewis:
         self._recourse_solvers: ByteBudgetLRU = ByteBudgetLRU(
             max_bytes=None, max_entries=16
         )
+        #: warm-start donor stash keyed by sorted actionable tuple;
+        #: survives :meth:`apply_delta` (donors only seed search bounds,
+        #: never answers) and is what snapshots persist/restores seed.
+        self._recourse_warm: dict[tuple[str, ...], list[dict]] = {}
 
     # -- black-box plumbing ---------------------------------------------------
 
@@ -268,6 +272,10 @@ class Lewis:
         )
         self.data = self.estimator._features
         self._positive = self.estimator._positive
+        # Solvers embed data-dependent logit fits and must refit, but
+        # their warm-start donor pools stay valid (donors are feasibility
+        # -checked upper-bound seeds) — stash them for the refit solvers.
+        self._stash_recourse_warm()
         self._recourse_solvers.clear()
         return version
 
@@ -538,9 +546,52 @@ class Lewis:
         entry = self._recourse_solvers.get(key)
         if entry is None or entry[0] != version:
             solver = RecourseSolver(self.estimator, list(actionable), cost_fn)
+            if entry is not None:
+                # refit across a version bump: carry the donor pool over
+                solver.seed_donor_pool(entry[1].export_donor_pool())
+            stash = self._recourse_warm.get(key[0])
+            if stash:
+                solver.seed_donor_pool(stash)
             self._recourse_solvers.put(key, (version, solver), size=1)
             return solver
         return entry[1]
+
+    def _stash_recourse_warm(self) -> None:
+        """Merge every live solver's donor pool into the warm stash."""
+        for key in list(self._recourse_solvers):
+            _version, solver = self._recourse_solvers[key]
+            exported = solver.export_donor_pool()
+            if exported:
+                merged = {
+                    tuple(sorted(e["current"].items())): e
+                    for e in self._recourse_warm.get(key[0], [])
+                }
+                for e in exported:
+                    merged.setdefault(tuple(sorted(e["current"].items())), e)
+                self._recourse_warm[key[0]] = list(merged.values())
+
+    def export_recourse_warm(self) -> list[dict]:
+        """JSON-safe warm-start state for snapshot persistence.
+
+        Returns ``[{"actionable": [...], "donors": [...]}, ...]`` — the
+        stash plus every live solver's donor pool — suitable for
+        :func:`repro.store.snapshot.snapshot_session` to embed in a
+        manifest and :meth:`seed_recourse_warm` to reload.
+        """
+        self._stash_recourse_warm()
+        return [
+            {"actionable": list(actionable), "donors": list(donors)}
+            for actionable, donors in sorted(self._recourse_warm.items())
+            if donors
+        ]
+
+    def seed_recourse_warm(self, state: Sequence[Mapping]) -> None:
+        """Load warm-start state exported by :meth:`export_recourse_warm`."""
+        for block in state or []:
+            actionable = tuple(sorted(block.get("actionable") or ()))
+            donors = list(block.get("donors") or [])
+            if actionable and donors:
+                self._recourse_warm[actionable] = donors
 
     def recourse(
         self,

@@ -48,3 +48,30 @@ def empirical_monotonicity_violation(
     for prev, nxt in zip(rates[:-1], rates[1:]):
         worst = max(worst, prev - nxt)
     return worst
+
+
+def monotonicity_from_counts(
+    positives: np.ndarray, totals: np.ndarray
+) -> tuple[float, int]:
+    """``(worst step-down, violating step count)`` from per-code counts.
+
+    The streaming-monitor form of
+    :func:`empirical_monotonicity_violation`: fed from the engine's
+    incrementally maintained ``(attribute, outcome)`` count tensor
+    instead of O(n) mask scans, and bit-identical to it on the worst
+    step (both reduce to the same integer-count divisions over the
+    supported codes, in code order). Additionally counts how many
+    consecutive supported steps decrease — the violation counter a
+    drift detector watches.
+    """
+    rates = [
+        p / t for p, t in zip(positives.tolist(), totals.tolist()) if t > 0
+    ]
+    worst, violations = 0.0, 0
+    for prev, nxt in zip(rates[:-1], rates[1:]):
+        drop = prev - nxt
+        if drop > 0:
+            violations += 1
+            if drop > worst:
+                worst = drop
+    return float(worst), violations

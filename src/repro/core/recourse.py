@@ -25,7 +25,12 @@ from typing import Any, Callable, Mapping, Sequence
 import numpy as np
 
 from repro.core import recourse_kernel
-from repro.core.recourse_kernel import CHUNK_SIZE, ENGINES, MODES, solve_chunk
+from repro.core.recourse_kernel import (
+    ENGINES,
+    MODES,
+    adaptive_chunk_size,
+    solve_chunk,
+)
 from repro.core.scores import ScoreEstimator
 from repro.data.table import Table
 from repro.estimation.logit import LogitModel, logit
@@ -35,6 +40,11 @@ from repro.utils.exceptions import RecourseInfeasibleError
 from repro.utils.validation import check_probability
 
 CostFn = Callable[[str, int, int], float]
+
+#: cap on the cross-request warm-start donor pool a solver retains (and
+#: exports into snapshots) — donors are tiny dicts, but the pool rides
+#: along in every chunk payload, so it stays bounded.
+DONOR_POOL_LIMIT = 256
 
 
 def unit_step_cost(attribute: str, current_code: int, new_code: int) -> float:
@@ -187,6 +197,11 @@ class RecourseSolver:
         #: mode); distinct individuals sharing (current codes, context)
         #: share the answer
         self._solutions: dict[tuple, Recourse | RecourseInfeasibleError] = {}
+        #: cross-request warm-start donors: actionable current-code tuple
+        #: -> a solved action set for that signature. Donors only seed
+        #: exact-search upper bounds (never answers), so the pool can be
+        #: safely carried across updates, requests and snapshot restores.
+        self._donor_pool: dict[tuple[int, ...], dict[str, int]] = {}
         #: cumulative kernel counters (searches, certificates, warm starts)
         self._counters = {
             "signature_solves": 0,
@@ -301,6 +316,68 @@ class RecourseSolver:
         program.add_ge_constraint(gain_coeffs, needed)
         return program
 
+    # -- warm-start donor pool ---------------------------------------------
+
+    def _note_donor(self, key: tuple[int, ...], chosen: Mapping[str, int]) -> None:
+        """Remember one solved action set as a future warm-start donor."""
+        if key not in self._donor_pool and len(self._donor_pool) < DONOR_POOL_LIMIT:
+            self._donor_pool[key] = {a: int(c) for a, c in chosen.items()}
+
+    def _nearest_donors(self, key: tuple[int, ...]) -> list[dict[str, int]]:
+        """The pool donor nearest to ``key`` in Hamming distance, if any."""
+        if not self._donor_pool:
+            return []
+        keys = list(self._donor_pool)
+        distances = (np.array(keys) != np.array(key)).sum(axis=1)
+        return [self._donor_pool[keys[int(np.argmin(distances))]]]
+
+    def _donor_entries(self) -> list[dict]:
+        """The pool as plain ``{"key", "chosen"}`` payload entries."""
+        return [
+            {"key": list(key), "chosen": dict(chosen)}
+            for key, chosen in self._donor_pool.items()
+        ]
+
+    def export_donor_pool(self) -> list[dict]:
+        """JSON-safe donor pool for persistence (see :mod:`repro.store`).
+
+        Entries carry the signature's current codes as an attribute-keyed
+        mapping (not a positional tuple) so a solver constructed with the
+        same attributes in a different order — or restored in another
+        process — can re-key them against its own layout.
+        """
+        return [
+            {
+                "current": {
+                    a: int(c) for a, c in zip(self.actionable, key)
+                },
+                "chosen": dict(chosen),
+            }
+            for key, chosen in self._donor_pool.items()
+        ]
+
+    def seed_donor_pool(self, entries: Sequence[Mapping]) -> int:
+        """Load exported donor entries; returns how many were accepted.
+
+        Entries whose ``current`` mapping does not cover this solver's
+        actionable set are skipped (a pool exported for a different
+        actionable set is simply not applicable).
+        """
+        accepted = 0
+        for entry in entries:
+            current = entry.get("current") or {}
+            if any(a not in current for a in self.actionable):
+                continue
+            key = tuple(int(current[a]) for a in self.actionable)
+            chosen = {
+                str(a): int(c) for a, c in (entry.get("chosen") or {}).items()
+            }
+            if chosen:
+                before = len(self._donor_pool)
+                self._note_donor(key, chosen)
+                accepted += len(self._donor_pool) > before
+        return accepted
+
     # -- solving -------------------------------------------------------------
 
     def solve(
@@ -323,6 +400,7 @@ class RecourseSolver:
         _check_mode(mode)
         context = {n: int(row_codes[n]) for n in self.context_names}
         current = {a: int(row_codes[a]) for a in self.actionable}
+        key = self._current_key(current)
         base_logit = float(self._logit.score_codes({**current, **context}))
         result = recourse_kernel.solve_signature(
             self._skeleton(current),
@@ -332,8 +410,11 @@ class RecourseSolver:
             mode=mode,
             engine=self.engine,
             node_limit=self.max_nodes,
+            donors=self._nearest_donors(key),
         )
         self._absorb_stats(result)
+        if result["status"] == "ok" and result["chosen"]:
+            self._note_donor(key, result["chosen"])
         return self._materialize(result, current, alpha, mode)
 
     def _materialize(
@@ -474,9 +555,14 @@ class RecourseSolver:
                         "base_logit": float(base_logit),
                     }
                 )
+            # Every chunk sees the same pre-batch donor snapshot, so the
+            # warm starts a chunk receives never depend on which worker
+            # ran a sibling chunk first.
+            donors = self._donor_entries()
+            chunk_size = adaptive_chunk_size(len(items), workers)
             payloads = []
-            for start in range(0, len(items), CHUNK_SIZE):
-                chunk = items[start : start + CHUNK_SIZE]
+            for start in range(0, len(items), chunk_size):
+                chunk = items[start : start + chunk_size]
                 payloads.append(
                     {
                         "skeletons": {
@@ -492,6 +578,7 @@ class RecourseSolver:
                         "mode": mode,
                         "engine": self.engine,
                         "node_limit": self.max_nodes,
+                        "donors": donors,
                     }
                 )
             use_pool = (
@@ -520,6 +607,8 @@ class RecourseSolver:
                 items, (r for chunk in chunk_results for r in chunk)
             ):
                 self._absorb_stats(result)
+                if result["status"] == "ok" and result["chosen"]:
+                    self._note_donor(item["key"], result["chosen"])
                 current = dict(zip(self.actionable, item["key"]))
                 try:
                     solved = self._materialize(result, current, alpha, mode)
@@ -570,6 +659,7 @@ class RecourseSolver:
             "solved_signatures": len(self._solutions),
             "infeasible_signatures": infeasible,
             "program_skeletons": len(self._structures),
+            "donor_pool": len(self._donor_pool),
             **self._counters,
         }
 

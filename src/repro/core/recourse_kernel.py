@@ -32,6 +32,7 @@ difference can never exceed it.
 
 from __future__ import annotations
 
+import os
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -53,10 +54,47 @@ from repro.utils.exceptions import RecourseInfeasibleError
 MODES = ("exact", "anytime")
 ENGINES = ("parametric", "milp")
 
-#: chunk granularity for batch solving — fixed (never derived from the
-#: worker count) so the chunking, and with it the warm-start donor
-#: neighbourhoods, are identical however many workers execute them.
+#: default chunk granularity for batch solving; :func:`adaptive_chunk_size`
+#: scales it with the signature count and lane count, but the chosen size
+#: is a pure function of ``(n_items, workers, cpu_count)`` — never of pool
+#: scheduling — so the chunking, and with it the warm-start donor
+#: neighbourhoods, are deterministic for a given worker count.  (Donors
+#: only seed search upper bounds and never change answers, so results are
+#: bit-identical across chunkings regardless; see ``SEED_EPS``.)
 CHUNK_SIZE = 64
+
+#: bounds on the adaptive chunk size: small enough that a pool of lanes
+#: load-balances, large enough that donor neighbourhoods stay useful and
+#: per-chunk pickling overhead stays amortised.
+CHUNK_MIN = 16
+CHUNK_MAX = 256
+
+
+def adaptive_chunk_size(
+    n_items: int, workers: int | None = None, cpu_count: int | None = None
+) -> int:
+    """Chunk size for ``n_items`` signatures over ``workers`` lanes.
+
+    Aims for ~4 chunks per lane so a process pool load-balances across
+    heterogeneous signature solve times, clipped to
+    ``[CHUNK_MIN, CHUNK_MAX]``.  ``workers`` of ``None``/``0``/``1``
+    plans for the host's core count (the serial path still chunks, for
+    donor locality).  Deterministic for a given ``(n_items, workers,
+    cpu_count)`` — ``cpu_count`` defaults to ``os.cpu_count()``, fixed
+    per host — and independent of anything runtime-scheduled.
+    """
+    if n_items <= 0:
+        return CHUNK_SIZE
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    cpu_count = max(1, int(cpu_count))
+    lanes = (
+        int(workers)
+        if workers is not None and int(workers) > 1
+        else cpu_count
+    )
+    target = -(-int(n_items) // (lanes * 4))
+    return max(CHUNK_MIN, min(CHUNK_MAX, target))
 
 
 def _sigmoid(z: float) -> float:
@@ -271,6 +309,12 @@ def solve_chunk(
     inline path reuses the parent's cache); workers rebuild them from
     the payload.  Skeleton derivation is a pure function of the
     payload, so both routes compute identical numbers.
+
+    ``payload["donors"]`` optionally pre-seeds the chunk-local donor
+    pool with ``{"key": [...], "chosen": {...}}`` entries from earlier
+    requests (or a restored snapshot); the parent gives every chunk the
+    same list, so seeding preserves the serial/parallel bit-identity —
+    and, donors being upper-bound seeds only, the answers themselves.
     """
     if skeletons is None:
         skeletons = {
@@ -279,6 +323,9 @@ def solve_chunk(
         }
     donor_keys: list[tuple[int, ...]] = []
     donor_chosen: list[dict[str, int]] = []
+    for entry in payload.get("donors", ()):
+        donor_keys.append(tuple(int(c) for c in entry["key"]))
+        donor_chosen.append({a: int(c) for a, c in entry["chosen"].items()})
     results = []
     for item in payload["items"]:
         key = tuple(item["key"])
@@ -307,10 +354,13 @@ def solve_chunk(
 
 
 __all__ = [
+    "CHUNK_MAX",
+    "CHUNK_MIN",
     "CHUNK_SIZE",
     "ENGINES",
     "FEASIBILITY_TOL",
     "MODES",
+    "adaptive_chunk_size",
     "solve_chunk",
     "solve_signature",
 ]

@@ -1,0 +1,164 @@
+"""Drift detectors and the typed alert record they emit.
+
+A monitor tracks one scalar metric of its summary (e.g. the NEC score
+of ``income=high`` vs ``low``). At registration the current value is
+frozen as the *baseline*; after every refresh the detectors compare the
+new value against it:
+
+:class:`ThresholdDetector`
+    Fires whenever ``|value - baseline|`` exceeds a fixed threshold —
+    the memoryless detector, right for hard compliance bounds.
+
+:class:`CusumDetector`
+    Two-sided CUSUM: accumulates deviations beyond a ``slack`` band and
+    fires when either accumulator crosses ``limit`` — the sequential
+    detector, right for slow drifts that never trip a per-refresh
+    threshold. After firing, the tripped accumulator resets so one
+    sustained shift yields one alert per crossing, not one per refresh.
+
+Both are pure state machines over floats: no engine access, trivially
+unit-testable, and their state is JSON-serializable so the journal can
+checkpoint it inside alert records (recovery resumes accumulators from
+the last externally visible value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One typed drift alert, as appended to the monitor journal."""
+
+    monitor_id: str
+    detector: str  # "threshold" | "cusum"
+    metric: str
+    value: float
+    baseline: float
+    magnitude: float  # |value - baseline| (threshold) or accumulator (cusum)
+    direction: str  # "up" | "down"
+    wal_seq: int
+    table_version: int
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "Alert":
+        return cls(
+            monitor_id=str(data["monitor_id"]),
+            detector=str(data["detector"]),
+            metric=str(data["metric"]),
+            value=float(data["value"]),
+            baseline=float(data["baseline"]),
+            magnitude=float(data["magnitude"]),
+            direction=str(data["direction"]),
+            wal_seq=int(data["wal_seq"]),
+            table_version=int(data["table_version"]),
+        )
+
+
+class ThresholdDetector:
+    """Fires when the metric moves more than ``threshold`` off baseline."""
+
+    name = "threshold"
+
+    def __init__(self, threshold: float):
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        self.threshold = float(threshold)
+        self._firing = False
+
+    def update(self, value: float, baseline: float) -> tuple[float, str] | None:
+        """Returns ``(magnitude, direction)`` when firing, else None.
+
+        Edge-triggered: a metric that stays beyond the threshold alerts
+        once on crossing, then re-arms only after returning inside the
+        band — a stuck metric should not alert on every delta batch.
+        """
+        deviation = float(value) - float(baseline)
+        beyond = abs(deviation) > self.threshold
+        fired = beyond and not self._firing
+        self._firing = beyond
+        if fired:
+            return abs(deviation), "up" if deviation > 0 else "down"
+        return None
+
+    def export_state(self) -> dict:
+        return {"firing": self._firing}
+
+    def load_state(self, state: Mapping) -> None:
+        self._firing = bool(state.get("firing", False))
+
+
+class CusumDetector:
+    """Two-sided CUSUM over metric deviations from baseline.
+
+    ``s_pos`` accumulates ``max(0, s + (value - baseline - slack))``,
+    ``s_neg`` the mirror image; crossing ``limit`` fires and resets the
+    tripped side.
+    """
+
+    name = "cusum"
+
+    def __init__(self, limit: float, slack: float = 0.0):
+        if limit <= 0:
+            raise ValueError(f"cusum limit must be positive, got {limit}")
+        if slack < 0:
+            raise ValueError(f"cusum slack must be >= 0, got {slack}")
+        self.limit = float(limit)
+        self.slack = float(slack)
+        self._s_pos = 0.0
+        self._s_neg = 0.0
+
+    def update(self, value: float, baseline: float) -> tuple[float, str] | None:
+        deviation = float(value) - float(baseline)
+        self._s_pos = max(0.0, self._s_pos + deviation - self.slack)
+        self._s_neg = max(0.0, self._s_neg - deviation - self.slack)
+        if self._s_pos > self.limit:
+            magnitude = self._s_pos
+            self._s_pos = 0.0
+            return magnitude, "up"
+        if self._s_neg > self.limit:
+            magnitude = self._s_neg
+            self._s_neg = 0.0
+            return magnitude, "down"
+        return None
+
+    def export_state(self) -> dict:
+        return {"s_pos": self._s_pos, "s_neg": self._s_neg}
+
+    def load_state(self, state: Mapping) -> None:
+        self._s_pos = float(state.get("s_pos", 0.0))
+        self._s_neg = float(state.get("s_neg", 0.0))
+
+
+def build_detectors(spec: Mapping) -> list:
+    """Instantiate the detectors a monitor spec asks for.
+
+    ``spec["threshold"]`` (float) and/or ``spec["cusum"]``
+    (``{"limit": float, "slack": float}``); a monitor with neither just
+    tracks its summary without alerting.
+    """
+    detectors = []
+    threshold = spec.get("threshold")
+    if threshold is not None:
+        detectors.append(ThresholdDetector(float(threshold)))
+    cusum = spec.get("cusum")
+    if cusum is not None:
+        detectors.append(
+            CusumDetector(
+                float(cusum["limit"]), slack=float(cusum.get("slack", 0.0))
+            )
+        )
+    return detectors
+
+
+__all__ = [
+    "Alert",
+    "CusumDetector",
+    "ThresholdDetector",
+    "build_detectors",
+]

@@ -207,3 +207,43 @@ def render_comparison(
             + "  ".join(f"{r:>8d}" for r in ranks)
         )
     return "\n".join(lines)
+
+
+def render_alert(alert: Mapping) -> str:
+    """One drift alert as a single log-style line."""
+    seq = alert.get("seq", "-")
+    direction = alert.get("direction", "?")
+    return (
+        f"[alert {seq}] {alert['monitor_id']} {alert['detector']} "
+        f"{alert['metric']} {direction}: "
+        f"{alert['baseline']:.4f} -> {alert['value']:.4f} "
+        f"(magnitude {alert['magnitude']:.4f}, wal_seq {alert['wal_seq']})"
+    )
+
+
+def render_monitor_list(listing: Mapping, title: str | None = None) -> str:
+    """Aligned text view of the ``GET /v1/monitors`` response."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"position {listing.get('position', 0)}  "
+        f"alerts_total {listing.get('alerts_total', 0)}"
+    )
+    monitors = listing.get("monitors") or []
+    if not monitors:
+        lines.append("(no monitors registered)")
+        return "\n".join(lines)
+    for monitor in monitors:
+        metric = monitor["metric"]
+        baseline = monitor["baseline"][metric]
+        current = monitor["summary"][metric]
+        drift = current - baseline
+        detectors = ", ".join(monitor.get("detectors") or {}) or "none"
+        lines.append(
+            f"{monitor['id']:>4s}  {monitor['kind']:<12s} {metric:<22s} "
+            f"baseline {baseline:8.4f}  current {current:8.4f}  "
+            f"drift {drift:+8.4f}  batches {monitor['batches_seen']:>4d}  "
+            f"alerts {monitor['alerts']:>3d}  detectors: {detectors}"
+        )
+    return "\n".join(lines)

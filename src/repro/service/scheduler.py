@@ -99,6 +99,18 @@ class MicroBatcher:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- registration ------------------------------------------------------
+
+    def register(self, kind: str, handler: Callable[[list], list]) -> None:
+        """Register (or replace) a handler after construction.
+
+        Lets optional subsystems — e.g. the monitor scheduler — route
+        their work onto the session's single dispatch lane without the
+        session having to know about them at construction time.
+        """
+        with self._lock:
+            self._handlers[kind] = handler
+
     # -- submission --------------------------------------------------------
 
     def submit(self, kind: str, payload: Any) -> Future:

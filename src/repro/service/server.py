@@ -30,6 +30,15 @@ Endpoints (all responses are JSON)::
     POST /v1/scores            {"contrasts": [[values, baselines], ...], "context"?}
     POST /v1/update            {"insert": [row, ...], "delete": [index, ...]}
 
+    POST   /v1/monitors        register a standing monitor
+                               {"kind": "score"|"fairness"|"monotonicity"|"recourse",
+                                "params": {...}, "metric"?, "threshold"?, "cusum"?}
+    GET    /v1/monitors        list monitors (baselines, summaries, cursors)
+    GET    /v1/monitors/<id>   one monitor's full state
+    DELETE /v1/monitors/<id>   deregister a monitor
+    GET    /v1/watch?cursor=N&timeout=S   long-poll for drift alerts newer
+                               than alert-seq N (timeout seconds, max 60)
+
     GET    /v1/<tenant>/...            any endpoint above, tenant-scoped
     GET    /v1/registry                tenant listing + load state
     GET    /v1/registry/<tenant>       snapshots, manifest summary, stats
@@ -53,6 +62,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
+from urllib.parse import parse_qs, urlsplit
 
 from repro.service.session import (
     AuditRequest,
@@ -87,6 +97,8 @@ RESERVED_SEGMENTS = {
     "scores",
     "update",
     "registry",
+    "monitors",
+    "watch",
     "v1",
 }
 
@@ -241,6 +253,7 @@ class ExplainerHTTPServer(ThreadingHTTPServer):
     #: attached by :func:`create_server`
     session: ExplainerSession | None = None
     registry = None
+    monitors = None
 
 
 class ExplainerRequestHandler(BaseHTTPRequestHandler):
@@ -294,10 +307,17 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
     # -- routing -----------------------------------------------------------
 
     def _segments(self) -> list[str]:
-        parts = [p for p in self.path.split("/") if p]
+        parts = [p for p in urlsplit(self.path).path.split("/") if p]
         if parts and parts[0] == "v1":
             parts = parts[1:]
         return parts
+
+    def _query(self) -> dict[str, str]:
+        """Last-wins flat view of the URL query string."""
+        return {
+            key: values[-1]
+            for key, values in parse_qs(urlsplit(self.path).query).items()
+        }
 
     def _resolve(self) -> tuple[ExplainerSession, str]:
         """Map the request path to (session, canonical ``/v1/...`` subpath).
@@ -326,6 +346,39 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                 f"no default session; address a tenant, e.g. /v1/<name>{self.path}"
             )
         return session, "/v1/" + "/".join(parts)
+
+    def _monitor_scheduler(self):
+        scheduler = self.server.monitors  # type: ignore[attr-defined]
+        if scheduler is None:
+            raise NotFound("this server has no monitor scheduler")
+        return scheduler
+
+    # -- monitor endpoints -------------------------------------------------
+
+    def _monitors_get(self, session: ExplainerSession, sub: str) -> dict:
+        monitors = self._monitor_scheduler().ensure(session)
+        if sub == "/v1/monitors":
+            return monitors.list()
+        monitor_id = sub.rsplit("/", 1)[1]
+        try:
+            return monitors.get(monitor_id)
+        except KeyError as exc:
+            raise NotFound(f"unknown monitor {monitor_id!r}") from exc
+
+    def _watch_get(self, session: ExplainerSession) -> dict:
+        from repro.monitor.monitors import WATCH_DEFAULT_TIMEOUT
+
+        query = self._query()
+        try:
+            cursor = int(query.get("cursor", 0))
+            timeout = float(query.get("timeout", WATCH_DEFAULT_TIMEOUT))
+        except ValueError as exc:
+            raise BadRequest(
+                f"cursor/timeout must be numeric: {exc}"
+            ) from exc
+        return self._monitor_scheduler().watch(
+            session, cursor=cursor, timeout=timeout
+        )
 
     # -- registry endpoints ------------------------------------------------
 
@@ -424,11 +477,23 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                     },
                 )
             elif sub == "/v1/stats":
-                self._send_json(200, session.stats())
+                stats = session.stats()
+                scheduler = self.server.monitors  # type: ignore[attr-defined]
+                if scheduler is not None:
+                    attached = scheduler.peek(session)
+                    if attached is not None:
+                        stats["monitors"] = attached.stats()
+                self._send_json(200, stats)
+            elif sub == "/v1/monitors" or sub.startswith("/v1/monitors/"):
+                self._send_json(200, self._monitors_get(session, sub))
+            elif sub == "/v1/watch":
+                self._send_json(200, self._watch_get(session))
             else:
                 raise NotFound(f"unknown endpoint {self.path!r}")
         except NotFound as exc:
             self._send_json(404, {"error": str(exc)})
+        except (BadRequest, ValueError) as exc:
+            self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - internal defects -> 500
             self._send_json(
                 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
@@ -439,22 +504,30 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
             self._read_body()  # drain so keep-alive stays in sync
             parts = self._segments()
             registry = self.registry
-            if registry is None or len(parts) != 2 or parts[0] != "registry":
-                self._send_json(404, {"error": f"unknown endpoint {self.path!r}"})
+            if registry is not None and len(parts) == 2 and parts[0] == "registry":
+                scheduler = self.server.monitors  # type: ignore[attr-defined]
+                if scheduler is not None:
+                    # release the journal handle before the store unlinks it
+                    scheduler.drop(parts[1])
+                removed = registry.remove(parts[1])
+                self._send_json(200, {"name": parts[1], "removed": removed})
                 return
-            removed = registry.remove(parts[1])
+            session, sub = self._resolve()
+            if sub.startswith("/v1/monitors/"):
+                monitors = self._monitor_scheduler().ensure(session)
+                self._send_json(200, monitors.remove(sub.rsplit("/", 1)[1]))
+                return
+            raise NotFound(f"unknown endpoint {self.path!r}")
+        except NotFound as exc:
+            self._send_json(404, {"error": str(exc)})
         except (BadRequest, ValueError) as exc:
             self._send_json(400, {"error": str(exc)})
-            return
         except StoreError as exc:
             self._send_json(404, {"error": str(exc)})
-            return
         except Exception as exc:  # noqa: BLE001 - internal defects -> 500
             self._send_json(
                 500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
             )
-            return
-        self._send_json(200, {"name": parts[1], "removed": removed})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         started = time.perf_counter()
@@ -469,7 +542,15 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
 
             def dispatch(target):
                 if sub == "/v1/update":
-                    return target.update(TableDelta.from_json(payload))
+                    response = target.update(TableDelta.from_json(payload))
+                    scheduler = self.server.monitors  # type: ignore[attr-defined]
+                    if scheduler is not None:
+                        # refresh the tenant's standing monitors against
+                        # the batch just applied (async, on its lane)
+                        scheduler.notify(target)
+                    return response
+                if sub == "/v1/monitors":
+                    return self._monitor_scheduler().ensure(target).add(payload)
                 return target.handle(_build_request(sub, payload))
 
             try:
@@ -546,6 +627,11 @@ def create_server(
     server = ExplainerHTTPServer((host, port), handler)
     server.session = session
     server.registry = registry
+    from repro.monitor.scheduler import MonitorScheduler
+
+    server.monitors = MonitorScheduler(
+        store=registry.store if registry is not None else None
+    )
     return server
 
 
@@ -594,6 +680,8 @@ def serve(
         for sig, old in previous.items():
             signal.signal(sig, old)
         server.server_close()  # joins in-flight handler threads
+        if server.monitors is not None:
+            server.monitors.close()
         if session is not None:
             session.close()
         if registry is not None:

@@ -52,7 +52,7 @@ _NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._
 #: Keep in sync with ``repro.service.server.RESERVED_SEGMENTS``.
 RESERVED_TENANT_NAMES = frozenset(
     {"health", "stats", "explain", "recourse", "audit", "scores",
-     "update", "registry", "v1"}
+     "update", "registry", "monitors", "watch", "v1"}
 )
 
 
@@ -266,17 +266,17 @@ class ArtifactStore:
         return json.loads(path.read_text())
 
     def remove_tenant(self, name: str) -> bool:
-        """Drop a tenant's manifests and WAL (blobs stay until :meth:`gc`)."""
+        """Drop a tenant's manifests, WAL and monitor journal."""
         name = check_tenant_name(name)
         removed = False
         tenant = self._tenant_dir(name)
         if tenant.is_dir():
             shutil.rmtree(tenant)
             removed = True
-        wal = self.wal_path(name)
-        if wal.exists():
-            wal.unlink()
-            removed = True
+        for path in (self.wal_path(name), self.monitor_journal_path(name)):
+            if path.exists():
+                path.unlink()
+                removed = True
         return removed
 
     # -- write-ahead logs --------------------------------------------------
@@ -284,6 +284,10 @@ class ArtifactStore:
     def wal_path(self, name: str) -> Path:
         """Path of the tenant's write-ahead log (may not exist yet)."""
         return self.root / "wal" / f"{check_tenant_name(name)}.jsonl"
+
+    def monitor_journal_path(self, name: str) -> Path:
+        """Path of the tenant's monitor journal (may not exist yet)."""
+        return self.root / "monitors" / f"{check_tenant_name(name)}.jsonl"
 
     # -- maintenance -------------------------------------------------------
 

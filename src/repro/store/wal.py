@@ -98,6 +98,7 @@ class DeltaLog:
         self._appended = 0
         records, valid_bytes, total_bytes = self._scan()
         self._last_seq = records[-1][0] if records else 0
+        self._first_seq = records[0][0] if records else 0
         self._records = len(records)
         if valid_bytes < total_bytes:
             # torn tail from a crash mid-append: the record was never
@@ -171,6 +172,31 @@ class DeltaLog:
         """Sequence number of the most recent acknowledged record."""
         return self._last_seq
 
+    @property
+    def first_live_seq(self) -> int:
+        """Sequence number of the oldest record still in the file.
+
+        Checkpoint compaction silently drops the replayable prefix, so a
+        tailing client holding cursor ``c`` can only trust
+        ``replay(after=c)`` to be gap-free when ``c >= first_live_seq - 1``.
+        An empty (or fully compacted) log exposes ``last_seq + 1`` — the
+        next sequence number that could ever be replayed — so the same
+        inequality works without special-casing emptiness.
+        """
+        with self._lock:
+            if self._records:
+                return self._first_seq
+            return self._last_seq + 1
+
+    def cursor_valid(self, cursor: int) -> bool:
+        """Whether ``replay(after=cursor)`` returns a gap-free tail.
+
+        False means compaction already dropped records the cursor never
+        saw; the client must resnapshot (re-read full state) instead of
+        replaying, or it would silently miss deltas.
+        """
+        return int(cursor) >= self.first_live_seq - 1
+
     def ensure_floor(self, seq: int) -> None:
         """Raise the sequence floor to at least ``seq``.
 
@@ -199,6 +225,8 @@ class DeltaLog:
                 )
             seq = self._last_seq + 1
             line = _record_line(_record_core(seq, delta))
+            if self._records == 0:
+                self._first_seq = seq
             if self._fh is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
                 created = not self.path.exists()
@@ -242,6 +270,7 @@ class DeltaLog:
                 os.fsync(fh.fileno())
             os.replace(tmp, self.path)
             self._records = len(keep)
+            self._first_seq = keep[0][0] if keep else 0
             return len(keep)
 
     # -- lifecycle ---------------------------------------------------------
@@ -279,6 +308,7 @@ class DeltaLog:
         return {
             "path": str(self.path),
             "last_seq": self._last_seq,
+            "first_live_seq": self.first_live_seq,
             "records": self._records,
             "appended": self._appended,
             "bytes": self.path.stat().st_size if self.path.exists() else 0,

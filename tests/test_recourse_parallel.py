@@ -176,7 +176,9 @@ class TestParallelBitIdentity:
         # Small chunks force several payloads so the pool actually
         # partitions the work; parallel_threshold=1 lets a small cohort
         # take the pool path at all.
-        monkeypatch.setattr("repro.core.recourse.CHUNK_SIZE", 5)
+        monkeypatch.setattr(
+            "repro.core.recourse.adaptive_chunk_size", lambda *a, **k: 5
+        )
         estimator = make_estimator(seed=4)
         solver = RecourseSolver(estimator, ["skill", "hours", "degree"])
         solver.parallel_threshold = 1
