@@ -418,6 +418,36 @@ def cmd_monitor(args) -> int:
     raise SystemExit(f"unknown monitor command {args.monitor_command!r}")
 
 
+def cmd_obs(args) -> int:
+    from repro.report import render_metrics_top, render_trace
+
+    if args.obs_command == "top":
+        stats = _http_json(f"{_monitor_base_url(args)}/stats")
+        print(render_metrics_top(stats, limit=args.limit))
+        return 0
+    if args.obs_command == "trace":
+        # traces are process-wide (one tracer per server), so the tenant
+        # flag is irrelevant here — query the root endpoint directly.
+        base = args.url.rstrip("/")
+        if not base.endswith("/v1"):
+            base += "/v1"
+        if args.id:
+            result = _http_json(f"{base}/traces?id={args.id}")
+        else:
+            query = f"?min_ms={args.min_ms}&limit={args.limit}"
+            if args.slow:
+                query += "&slow=1"
+            result = _http_json(f"{base}/traces{query}")
+        traces = result.get("traces") or []
+        if not traces:
+            print("(no finished traces match)")
+            return 0
+        for record in traces:
+            print(render_trace(record))
+        return 0
+    raise SystemExit(f"unknown obs command {args.obs_command!r}")
+
+
 def cmd_registry(args) -> int:
     from repro.store import ArtifactStore
     from repro.utils.exceptions import StoreError
@@ -696,6 +726,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep polling until interrupted (default: one poll)",
     )
     p_monitor.set_defaults(func=cmd_monitor)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect a running service's metrics and traces"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_obs_top = obs_sub.add_parser(
+        "top", help="busiest counters/gauges/histograms from /v1/stats"
+    )
+    monitor_common(p_obs_top)
+    p_obs_top.add_argument(
+        "--limit", type=int, default=20, help="rows per section"
+    )
+
+    p_obs_trace = obs_sub.add_parser(
+        "trace", help="span waterfalls of recent requests from /v1/traces"
+    )
+    monitor_common(p_obs_trace)
+    p_obs_trace.add_argument("--id", default=None, help="one trace by id")
+    p_obs_trace.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="only traces at least this slow",
+    )
+    p_obs_trace.add_argument("--limit", type=int, default=10)
+    p_obs_trace.add_argument(
+        "--slow", action="store_true",
+        help="read the slow-request ring instead of the main ring",
+    )
+    p_obs.set_defaults(func=cmd_obs)
     return parser
 
 
@@ -703,7 +762,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    from repro.obs import tracing as _tracing
+
+    # Every command runs under a root trace: with REPRO_PROFILE=1 the
+    # finished trace (in-process) carries a cProfile summary of the run.
+    with _tracing.trace(f"cli {args.command}", tags={"command": args.command}):
+        return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests

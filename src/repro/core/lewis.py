@@ -556,6 +556,23 @@ class Lewis:
             return solver
         return entry[1]
 
+    def solver_stats(self) -> dict:
+        """Aggregated :meth:`RecourseSolver.solution_memo_stats` over live solvers.
+
+        The per-session solver gauges the metrics registry exports; zero
+        counters when no solver has been instantiated yet.
+        """
+        totals: dict[str, float] = {"solvers": 0}
+        for key in list(self._recourse_solvers):
+            try:
+                _version, solver = self._recourse_solvers[key]
+            except KeyError:  # evicted mid-iteration
+                continue
+            totals["solvers"] += 1
+            for name, value in solver.solution_memo_stats().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
     def _stash_recourse_warm(self) -> None:
         """Merge every live solver's donor pool into the warm stash."""
         for key in list(self._recourse_solvers):

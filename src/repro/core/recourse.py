@@ -34,12 +34,39 @@ from repro.core.recourse_kernel import (
 from repro.core.scores import ScoreEstimator
 from repro.data.table import Table
 from repro.estimation.logit import LogitModel, logit
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _tracing
 from repro.opt.integer_program import IntegerProgram
 from repro.opt.parametric import SignatureSkeleton
 from repro.utils.exceptions import RecourseInfeasibleError
 from repro.utils.validation import check_probability
 
 CostFn = Callable[[str, int, int], float]
+
+_SOLVER_SIGNATURE_SOLVES = _obs.get_registry().counter(
+    "repro_solver_signature_solves_total",
+    "Distinct signature solves run by recourse solvers.",
+)
+_SOLVER_SEARCH_NODES = _obs.get_registry().counter(
+    "repro_solver_search_nodes_total",
+    "Exact-search nodes expanded across signature solves.",
+)
+_SOLVER_CERTIFIED = _obs.get_registry().counter(
+    "repro_solver_certified_total",
+    "Signature solves certified optimal by the LP root bound.",
+)
+_SOLVER_DONOR_SEEDED = _obs.get_registry().counter(
+    "repro_solver_donor_seeded_total",
+    "Exact searches warm-started from a donor incumbent.",
+)
+_SOLVER_PARALLEL_BATCHES = _obs.get_registry().counter(
+    "repro_solver_parallel_batches_total",
+    "Batch solves dispatched to the process pool.",
+)
+_SOLVER_CHUNK_SECONDS = _obs.get_registry().histogram(
+    "repro_solver_chunk_seconds",
+    "Wall time of one signature chunk solve (inline or pool worker).",
+)
 
 #: cap on the cross-request warm-start donor pool a solver retains (and
 #: exports into snapshots) — donors are tiny dicts, but the pool rides
@@ -475,6 +502,33 @@ class RecourseSolver:
         self._counters["certified_by_lp_bound"] += stats.get("certified", 0)
         self._counters["donor_seeded_searches"] += stats.get("donor_seeded", 0)
         self._counters["search_nodes"] += stats.get("nodes", 0)
+        if _obs.enabled():
+            _SOLVER_SIGNATURE_SOLVES.inc()
+            _SOLVER_CERTIFIED.inc(stats.get("certified", 0))
+            _SOLVER_DONOR_SEEDED.inc(stats.get("donor_seeded", 0))
+            _SOLVER_SEARCH_NODES.inc(stats.get("nodes", 0))
+
+    @staticmethod
+    def _ingest_chunk(chunk: Any) -> list[dict]:
+        """Unwrap one :func:`solve_chunk` return value.
+
+        When the chunk payload carried a trace context the kernel hands
+        back an envelope with its own wall timing (measured inside the
+        worker process); replay it into the request trace and feed the
+        chunk-solve histogram.  Plain-list returns pass through.
+        """
+        if not isinstance(chunk, Mapping):
+            return chunk
+        span = chunk["span"]
+        _SOLVER_CHUNK_SECONDS.observe(span["duration_ms"] / 1e3)
+        _tracing.record_span(
+            span["trace"],
+            span["name"],
+            span["duration_ms"],
+            started_unix=span["started_unix"],
+            tags=span["tags"],
+        )
+        return chunk["results"]
 
     def solve_batch(
         self,
@@ -559,28 +613,32 @@ class RecourseSolver:
             # warm starts a chunk receives never depend on which worker
             # ran a sibling chunk first.
             donors = self._donor_entries()
+            # The caller's trace context rides in every chunk payload as
+            # plain data so pool workers can time themselves for the trace.
+            trace_ctx = _tracing.current_context()
             chunk_size = adaptive_chunk_size(len(items), workers)
             payloads = []
             for start in range(0, len(items), chunk_size):
                 chunk = items[start : start + chunk_size]
-                payloads.append(
-                    {
-                        "skeletons": {
-                            key: self._skeleton_payloads[key]
-                            for key in {item["key"] for item in chunk}
-                        },
-                        "items": [
-                            {"key": item["key"], "base_logit": item["base_logit"]}
-                            for item in chunk
-                        ],
-                        "alpha": float(alpha),
-                        "max_refinements": int(max_refinements),
-                        "mode": mode,
-                        "engine": self.engine,
-                        "node_limit": self.max_nodes,
-                        "donors": donors,
-                    }
-                )
+                payload = {
+                    "skeletons": {
+                        key: self._skeleton_payloads[key]
+                        for key in {item["key"] for item in chunk}
+                    },
+                    "items": [
+                        {"key": item["key"], "base_logit": item["base_logit"]}
+                        for item in chunk
+                    ],
+                    "alpha": float(alpha),
+                    "max_refinements": int(max_refinements),
+                    "mode": mode,
+                    "engine": self.engine,
+                    "node_limit": self.max_nodes,
+                    "donors": donors,
+                }
+                if trace_ctx is not None:
+                    payload["trace"] = trace_ctx
+                payloads.append(payload)
             use_pool = (
                 workers is not None
                 and int(workers) > 1
@@ -592,6 +650,8 @@ class RecourseSolver:
                     payloads, int(workers), mp_context
                 )
                 self._counters["parallel_batches"] += 1
+                if _obs.enabled():
+                    _SOLVER_PARALLEL_BATCHES.inc()
             else:
                 chunk_results = [
                     solve_chunk(
@@ -603,20 +663,22 @@ class RecourseSolver:
                     )
                     for payload in payloads
                 ]
-            for item, result in zip(
-                items, (r for chunk in chunk_results for r in chunk)
-            ):
-                self._absorb_stats(result)
-                if result["status"] == "ok" and result["chosen"]:
-                    self._note_donor(item["key"], result["chosen"])
-                current = dict(zip(self.actionable, item["key"]))
-                try:
-                    solved = self._materialize(result, current, alpha, mode)
-                except RecourseInfeasibleError as exc:
-                    solved = exc
-                self._solutions[
-                    (item["signature"], alpha, max_refinements, mode)
-                ] = solved
+            chunk_results = [self._ingest_chunk(c) for c in chunk_results]
+            with _tracing.span("recourse_merge", tags={"signatures": len(items)}):
+                for item, result in zip(
+                    items, (r for chunk in chunk_results for r in chunk)
+                ):
+                    self._absorb_stats(result)
+                    if result["status"] == "ok" and result["chosen"]:
+                        self._note_donor(item["key"], result["chosen"])
+                    current = dict(zip(self.actionable, item["key"]))
+                    try:
+                        solved = self._materialize(result, current, alpha, mode)
+                    except RecourseInfeasibleError as exc:
+                        solved = exc
+                    self._solutions[
+                        (item["signature"], alpha, max_refinements, mode)
+                    ] = solved
         out: list[Recourse | None] = []
         for row_index, unique_index in enumerate(inverse):
             signature = tuple(int(c) for c in signatures[unique_index])
@@ -634,7 +696,7 @@ class RecourseSolver:
     @staticmethod
     def _run_chunks_parallel(
         payloads: list[dict], workers: int, mp_context: str | None
-    ) -> list[list[dict]]:
+    ) -> list[list[dict] | dict]:
         """Map :func:`solve_chunk` over payloads on a process pool."""
         import multiprocessing as mp
         from concurrent.futures import ProcessPoolExecutor

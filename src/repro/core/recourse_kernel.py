@@ -33,6 +33,7 @@ difference can never exceed it.
 from __future__ import annotations
 
 import os
+import time
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -284,7 +285,7 @@ def _gain_of(skeleton: SignatureSkeleton, chosen: Mapping[str, int]) -> float:
 def solve_chunk(
     payload: dict,
     skeletons: Mapping[tuple, SignatureSkeleton] | None = None,
-) -> list[dict]:
+) -> list[dict] | dict:
     """Solve one chunk of signature work items; the process-pool unit.
 
     ``payload`` is a plain picklable dict::
@@ -315,7 +316,18 @@ def solve_chunk(
     requests (or a restored snapshot); the parent gives every chunk the
     same list, so seeding preserves the serial/parallel bit-identity —
     and, donors being upper-bound seeds only, the answers themselves.
+
+    ``payload["trace"]`` (a ``{"trace_id", "span_id"}`` context captured
+    by the parent) switches the return shape to an *envelope*
+    ``{"results": [...], "span": {...}}`` carrying the chunk's own wall
+    timing as plain data, so the parent can replay it into the request
+    trace even when the chunk ran in a pool worker process.  Timing
+    never feeds back into the solve, so the bit-identity guarantee is
+    untouched.
     """
+    trace_ctx = payload.get("trace")
+    chunk_started_unix = time.time()
+    chunk_started = time.perf_counter()
     if skeletons is None:
         skeletons = {
             key: SignatureSkeleton.from_payload(p)
@@ -350,7 +362,18 @@ def solve_chunk(
         if result["status"] == "ok" and result["chosen"]:
             donor_keys.append(key)
             donor_chosen.append(result["chosen"])
-    return results
+    if trace_ctx is None:
+        return results
+    return {
+        "results": results,
+        "span": {
+            "trace": dict(trace_ctx),
+            "name": "solve_chunk",
+            "started_unix": chunk_started_unix,
+            "duration_ms": (time.perf_counter() - chunk_started) * 1e3,
+            "tags": {"items": len(results), "pid": os.getpid()},
+        },
+    }
 
 
 __all__ = [

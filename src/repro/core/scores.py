@@ -25,6 +25,7 @@ Two estimation backends are provided:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -464,19 +465,30 @@ class ScoreEstimator:
     def _local_model(self, features: tuple[str, ...]) -> OutcomeProbabilityModel:
         model = self._local_models.get(features)
         if model is None:
+            from repro.obs import metrics as _obs
+
+            fit_started = time.perf_counter()
             model = OutcomeProbabilityModel(list(features))
             model.fit(self._features, self._positive)
+            _obs.get_registry().histogram(
+                "repro_local_model_fit_seconds",
+                "Wall time to fit one per-feature-tuple regression model.",
+            ).observe(time.perf_counter() - fit_started)
             self._local_models.put(features, model, size=1)
         return model
 
+    def local_model_cache_stats(self):
+        """Local-model cache counters as the unified ``CacheStats`` schema."""
+        return self._local_models.stats_struct("local_model")
+
     def local_model_stats(self) -> dict:
-        """Hit/miss/eviction counters of the local regression-model cache.
+        """Deprecated dict view of :meth:`local_model_cache_stats`.
 
         Same stats shape as the engine tensor cache and the service
         result cache, so operators can size ``max_local_models`` from
         observed hit rates.
         """
-        return self._local_models.stats()
+        return self.local_model_cache_stats().legacy_dict()
 
     def local_context(self, attribute: str, row_codes: Mapping[str, int]) -> dict[str, int]:
         """The individual's non-descendant assignment ``k`` for ``attribute``.

@@ -65,13 +65,28 @@ shape), rejecting archives that do not describe the bound data.
 from __future__ import annotations
 
 import json
+import time
 from typing import Any, BinaryIO, Mapping, Sequence
 
 import numpy as np
 
 from repro.data.table import Table
+from repro.obs import metrics as _obs
 from repro.utils.exceptions import EstimationError
 from repro.utils.lru import ByteBudgetLRU
+
+_TENSOR_BUILDS = _obs.get_registry().counter(
+    "repro_engine_tensor_builds_total",
+    "Count tensors materialised on tensor-cache misses.",
+)
+_TENSOR_BUILD_SECONDS = _obs.get_registry().histogram(
+    "repro_engine_tensor_build_seconds",
+    "Wall time of one bincount count-tensor build.",
+)
+_DELTAS_APPLIED = _obs.get_registry().counter(
+    "repro_engine_deltas_applied_total",
+    "Non-empty row deltas folded into the cached tensors.",
+)
 
 
 class _CapacityError(Exception):
@@ -154,9 +169,13 @@ class ContingencyEngine:
         ``misses`` / ``evictions``) share their shape with every other
         cache in the serving stack (see :mod:`repro.utils.lru`).
         """
-        out = self._tensors.stats()
+        out = self.cache_stats().legacy_dict()
         out.update(n_rows=self._n, version=self._version, max_cells=self._max_cells)
         return out
+
+    def cache_stats(self) -> "_obs.CacheStats":
+        """Tensor-cache counters as the unified :class:`CacheStats` schema."""
+        return self._tensors.stats_struct("tensor")
 
     def _card(self, name: str) -> int:
         card = self._cards.get(name)
@@ -184,6 +203,7 @@ class ContingencyEngine:
         cells = _prod(shape) if key else 1
         if cells > self._max_cells:
             raise _CapacityError(f"joint domain of {key!r} has {cells} cells")
+        build_started = time.perf_counter()
         if not key:
             tensor = np.full((), self._n, dtype=np.int64)
         else:
@@ -191,6 +211,8 @@ class ContingencyEngine:
                 self._pack({n: self._table.codes(n) for n in key}, key, self._n),
                 minlength=cells,
             ).reshape(shape)
+        _TENSOR_BUILDS.inc()
+        _TENSOR_BUILD_SECONDS.observe(time.perf_counter() - build_started)
         self._tensors.put(key, tensor, size=tensor.nbytes)
         return tensor
 
@@ -313,6 +335,7 @@ class ContingencyEngine:
         self._table = base
         self._n = len(self._table)
         self._version += 1
+        _DELTAS_APPLIED.inc()
         return self._version
 
     # -- persistence -------------------------------------------------------

@@ -36,7 +36,19 @@ from typing import Any, Mapping
 from repro.monitor.detectors import Alert, build_detectors
 from repro.monitor.journal import MonitorJournal
 from repro.monitor.summaries import compute_summary, encode_spec
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _tracing
 from repro.service.session import ExplainerSession, jsonable
+
+_MONITOR_REFRESHES = _obs.get_registry().counter(
+    "repro_monitor_refreshes_total", "Monitor summary refreshes computed."
+)
+_MONITOR_REFRESH_ERRORS = _obs.get_registry().counter(
+    "repro_monitor_refresh_errors_total", "Monitor refresh dispatches that failed."
+)
+_MONITOR_ALERTS = _obs.get_registry().counter(
+    "repro_monitor_alerts_total", "Drift alerts emitted by monitors."
+)
 
 #: how many alerts the in-memory ring keeps for ``watch`` long-polls;
 #: older alerts remain in the journal but are no longer served live.
@@ -107,6 +119,7 @@ class MonitorSet:
     def _note_refresh_result(self, future) -> None:
         if not future.cancelled() and future.exception() is not None:
             self._refresh_errors += 1
+            _MONITOR_REFRESH_ERRORS.inc()
 
     # -- the dispatch-lane handler -----------------------------------------
 
@@ -173,15 +186,16 @@ class MonitorSet:
         if self._journal is not None:
             # journal before exposing: a registration the client saw
             # acknowledged must survive a crash.
-            self._journal.append(
-                "register",
-                {
-                    "id": monitor_id,
-                    "spec": spec,
-                    "baseline": baseline,
-                    "cursor": position,
-                },
-            )
+            data = {
+                "id": monitor_id,
+                "spec": spec,
+                "baseline": baseline,
+                "cursor": position,
+            }
+            request_id = _tracing.current_trace_id()
+            if request_id is not None:
+                data["request_id"] = request_id
+            self._journal.append("register", data)
         self._next_id += 1
         self._monitors[monitor_id] = state
         return self._describe(state)
@@ -250,6 +264,7 @@ class MonitorSet:
             state["summary"] = summary
             state["refreshes"] += 1
             self._refreshes += 1
+            _MONITOR_REFRESHES.inc()
             out["refreshed"] += 1
             metric = state["spec"]["metric"]
             value = float(summary[metric])
@@ -283,16 +298,20 @@ class MonitorSet:
             table_version=int(self._session.table_version),
         )
         state["alerts"] += 1
+        _MONITOR_ALERTS.inc()
         if self._journal is not None:
-            self._journal.append(
-                "alert",
-                {
-                    "alert": alert.to_json(),
-                    "states": {
-                        d.name: d.export_state() for d in state["detectors"]
-                    },
+            data = {
+                "alert": alert.to_json(),
+                "states": {
+                    d.name: d.export_state() for d in state["detectors"]
                 },
-            )
+            }
+            # The update that triggered the alert, when the refresh ran
+            # inside a traced request (dispatch-lane notify path).
+            request_id = _tracing.current_trace_id()
+            if request_id is not None:
+                data["request_id"] = request_id
+            self._journal.append("alert", data)
         with self._cond:
             self._alert_seq += 1
             self._alerts.append((self._alert_seq, alert))

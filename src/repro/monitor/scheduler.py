@@ -19,9 +19,11 @@ set attached.
 from __future__ import annotations
 
 import threading
+import weakref
 
 from repro.monitor.journal import MonitorJournal
 from repro.monitor.monitors import WATCH_DEFAULT_TIMEOUT, MonitorSet
+from repro.obs import metrics as _obs
 from repro.service.session import ExplainerSession
 
 
@@ -33,6 +35,30 @@ class MonitorScheduler:
         self._lock = threading.Lock()
         #: tenant name ("" for the default session) -> (session, set)
         self._entries: dict[str, tuple[ExplainerSession, MonitorSet]] = {}
+        # Weakly-referenced registry collector: attached-set gauges are
+        # sampled at scrape time, and the collector unregisters itself
+        # (LookupError) once the scheduler is garbage-collected.
+        self._collector_key = f"monitor_scheduler:{id(self)}"
+        ref = weakref.ref(self)
+
+        def collect():
+            scheduler = ref()
+            if scheduler is None:
+                raise LookupError("monitor scheduler gone")
+            samples: dict[str, float] = {}
+            with scheduler._lock:
+                entries = dict(scheduler._entries)
+            samples[_obs.full_name("repro_monitor_sets")] = float(len(entries))
+            monitors = alerts = 0.0
+            for _name, (_session, mset) in entries.items():
+                stats = mset.stats()
+                monitors += stats["monitors"]
+                alerts += stats["alerts_total"]
+            samples[_obs.full_name("repro_monitor_monitors")] = monitors
+            samples[_obs.full_name("repro_monitor_alert_seq")] = alerts
+            return samples
+
+        _obs.get_registry().register_collector(self._collector_key, collect)
 
     def ensure(self, session: ExplainerSession) -> MonitorSet:
         """The session's monitor set, creating or re-attaching as needed."""
@@ -90,6 +116,7 @@ class MonitorScheduler:
 
     def close(self) -> None:
         """Release every journal handle."""
+        _obs.get_registry().unregister_collector(self._collector_key)
         with self._lock:
             entries = list(self._entries.values())
             self._entries.clear()

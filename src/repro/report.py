@@ -247,3 +247,79 @@ def render_monitor_list(listing: Mapping, title: str | None = None) -> str:
             f"alerts {monitor['alerts']:>3d}  detectors: {detectors}"
         )
     return "\n".join(lines)
+
+
+def render_metrics_top(stats: Mapping, limit: int = 20) -> str:
+    """Terminal summary of a ``/v1/stats`` response's metrics snapshot.
+
+    Counters and gauges are ranked by value; histograms by observation
+    count (shown with their mean in milliseconds). Accepts either the
+    full ``/v1/stats`` body or a bare registry snapshot.
+    """
+    snapshot = stats.get("metrics", stats)
+    limit = max(1, int(limit))
+    lines = []
+    for section in ("counters", "gauges"):
+        entries = sorted(
+            (snapshot.get(section) or {}).items(), key=lambda kv: -kv[1]
+        )[:limit]
+        if not entries:
+            continue
+        lines.append(f"{section}:")
+        width = max(len(name) for name, _ in entries)
+        for name, value in entries:
+            shown = (
+                int(value)
+                if float(value).is_integer()
+                else f"{value:.4f}"
+            )
+            lines.append(f"  {name:{width}s}  {shown}")
+    histograms = snapshot.get("histograms") or {}
+    if histograms:
+        entries = sorted(
+            histograms.items(), key=lambda kv: -kv[1]["count"]
+        )[:limit]
+        lines.append("histograms (count / mean ms):")
+        width = max(len(name) for name, _ in entries)
+        for name, hist in entries:
+            count = int(hist["count"])
+            mean_ms = (hist["sum"] / count * 1e3) if count else 0.0
+            lines.append(f"  {name:{width}s}  {count:>8d} / {mean_ms:10.3f}")
+    tracer = stats.get("tracing")
+    if tracer:
+        lines.append(
+            f"tracing: {tracer['finished']} finished, "
+            f"{tracer['slow_captured']} slow (>= {tracer['slow_ms']:g} ms), "
+            f"{tracer['orphan_spans']} orphan spans"
+        )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def render_trace(record: Mapping) -> str:
+    """Span waterfall for one finished trace (``GET /v1/traces`` entry)."""
+    header = (
+        f"trace {record['trace_id']}  {record['name']}  "
+        f"{record['duration_ms']:.3f} ms  status={record['status']}"
+    )
+    if record.get("slow"):
+        header += "  [slow]"
+    lines = [header]
+    spans = sorted(
+        record.get("spans") or [], key=lambda s: s.get("started_unix", 0.0)
+    )
+    total = max(float(record["duration_ms"]), 1e-9)
+    for entry in spans:
+        share = float(entry["duration_ms"]) / total
+        lines.append(
+            f"  {entry['name']:<24s} {entry['duration_ms']:>10.3f} ms  "
+            f"|{_bar(share, 24)}|"
+            + (f"  {entry['tags']}" if entry.get("tags") else "")
+        )
+    if record.get("profile"):
+        lines.append("  profile (top cumulative):")
+        for row in record["profile"][:5]:
+            lines.append(
+                f"    {row['function']:<44s} calls {row['calls']:>6d}  "
+                f"cum {row['cumtime_s']:.4f}s"
+            )
+    return "\n".join(lines)

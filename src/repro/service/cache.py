@@ -129,9 +129,13 @@ class ResultCache:
         with self._lock:
             return len(self._lru)
 
-    def stats(self) -> dict:
-        """Cache counters plus the invalidation count."""
+    def stats_struct(self) -> "CacheStats":
+        """Unified :class:`~repro.obs.metrics.CacheStats` view."""
         with self._lock:
-            out = self._lru.stats()
-            out["invalidations"] = self._invalidations
-        return out
+            return self._lru.stats_struct("result").with_extra(
+                {"invalidations": self._invalidations}
+            )
+
+    def stats(self) -> dict:
+        """Deprecated dict view of :meth:`stats_struct` (back-compat shim)."""
+        return self.stats_struct().legacy_dict()

@@ -26,6 +26,57 @@ import time
 from concurrent.futures import Future
 from typing import Any, Callable, Mapping
 
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _tracing
+
+#: queue item: (kind, payload, future, enqueued_perf, trace context).
+_Item = tuple[str, Any, Future, float, "dict | None"]
+
+# Per-kind instruments are created lazily at first dispatch; declare the
+# families up front so /metrics advertises them from the first scrape.
+_obs.get_registry().declare(
+    "repro_batcher_queue_wait_seconds",
+    "histogram",
+    "Time a request spent queued before its batch dispatched.",
+)
+_obs.get_registry().declare(
+    "repro_batcher_compute_seconds",
+    "histogram",
+    "Handler wall time for one dispatched batch.",
+)
+_obs.get_registry().declare(
+    "repro_batcher_requests_total",
+    "counter",
+    "Requests served through the micro-batcher.",
+)
+_BATCHES_TOTAL = _obs.get_registry().counter(
+    "repro_batcher_batches_total",
+    "Dispatch rounds executed by the micro-batcher.",
+)
+
+#: per-kind instrument cache: label formatting + registry lookup happen
+#: once per kind, not once per request (GIL-atomic dict ops; a racing
+#: double-create resolves to the same registry instrument anyway).
+_KIND_INSTRUMENTS: dict[str, tuple] = {}
+
+
+def _kind_instruments(kind: str) -> tuple:
+    cached = _KIND_INSTRUMENTS.get(kind)
+    if cached is None:
+        registry = _obs.get_registry()
+        labels = {"kind": kind}
+        cached = (
+            registry.histogram(
+                "repro_batcher_queue_wait_seconds", labels=labels
+            ),
+            registry.histogram(
+                "repro_batcher_compute_seconds", labels=labels
+            ),
+            registry.counter("repro_batcher_requests_total", labels=labels),
+        )
+        _KIND_INSTRUMENTS[kind] = cached
+    return cached
+
 
 class MicroBatcher:
     """Coalesces concurrent requests into batched handler calls.
@@ -121,7 +172,11 @@ class MicroBatcher:
                 f"registered: {sorted(self._handlers)}"
             )
         future: Future = Future()
-        self._queue.put((kind, payload, future))
+        # The caller's trace context rides along in the queue item so the
+        # dispatch thread can attribute queue wait and compute to it.
+        self._queue.put(
+            (kind, payload, future, time.perf_counter(), _tracing.current_context())
+        )
         return future
 
     def run(self, kind: str, payload: Any) -> Any:
@@ -157,9 +212,9 @@ class MicroBatcher:
                 self._dispatch(batch)
                 served += len(batch)
 
-    def _drain(self, block: bool) -> list[tuple[str, Any, Future]]:
+    def _drain(self, block: bool) -> list[_Item]:
         """Collect up to ``max_batch`` items, waiting ``window`` once."""
-        items: list[tuple[str, Any, Future]] = []
+        items: list[_Item] = []
         try:
             first = self._queue.get(block=block)
         except queue.Empty:
@@ -184,25 +239,50 @@ class MicroBatcher:
             items.append(item)
         return items
 
-    def _dispatch(self, items: list[tuple[str, Any, Future]]) -> None:
-        groups: dict[str, list[tuple[Any, Future]]] = {}
-        for kind, payload, future in items:
-            groups.setdefault(kind, []).append((payload, future))
+    def _dispatch(self, items: list[_Item]) -> None:
+        observing = _obs.enabled()
+        drained = time.perf_counter()
+        groups: dict[str, list[tuple[Any, Future, dict | None]]] = {}
+        for kind, payload, future, enqueued, ctx in items:
+            groups.setdefault(kind, []).append((payload, future, ctx))
+            if observing:
+                wait = drained - enqueued
+                _kind_instruments(kind)[0].observe(wait)
+                _tracing.record_span(
+                    ctx, "queue_wait", wait * 1e3, tags={"kind": kind}
+                )
         for kind, entries in groups.items():
-            payloads = [p for p, _f in entries]
+            payloads = [p for p, _f, _c in entries]
+            # Re-enter the first caller's trace so spans opened inside the
+            # handler (solver chunks, WAL fsync) land in a real trace; the
+            # other callers of the batch get a replayed ``compute`` span.
+            lead_ctx = next((c for _p, _f, c in entries if c is not None), None)
+            compute_started = time.perf_counter()
             try:
-                results = self._handlers[kind](payloads)
+                with _tracing.attach(lead_ctx):
+                    results = self._handlers[kind](payloads)
                 if len(results) != len(payloads):
                     raise RuntimeError(
                         f"handler {kind!r} returned {len(results)} results "
                         f"for {len(payloads)} payloads"
                     )
             except BaseException as exc:  # propagate to every waiter
-                for _payload, future in entries:
+                for _payload, future, _ctx in entries:
                     future.set_exception(exc)
                 continue
-            for (_payload, future), result in zip(entries, results):
+            finally:
+                if observing:
+                    compute = time.perf_counter() - compute_started
+                    instruments = _kind_instruments(kind)
+                    instruments[1].observe(compute)
+                    instruments[2].inc(len(entries))
+                    tags = {"kind": kind, "batch_size": len(payloads)}
+                    for _payload, _future, ctx in entries:
+                        _tracing.record_span(ctx, "compute", compute * 1e3, tags=tags)
+            for (_payload, future, _ctx), result in zip(entries, results):
                 future.set_result(result)
+        if observing:
+            _BATCHES_TOTAL.inc()
         self._requests += len(items)
         self._batches += 1
         self._largest_batch = max(self._largest_batch, len(items))

@@ -16,10 +16,21 @@ The server runs in one of two modes (or both at once):
   that tenant's session (lazy-loaded from its snapshot + write-ahead
   log on first request), and ``/v1/registry/*`` manages the fleet.
 
-Endpoints (all responses are JSON)::
+Every POST opens a trace at the edge: the generated ``request_id`` (==
+trace id) is echoed in success *and* error bodies, stamped into WAL
+records written on its behalf, and the finished trace — queue-wait,
+compute, chunk-solve and fsync spans included — is retrievable from
+``GET /v1/traces`` the moment the response is sent.  ``GET /metrics``
+exposes the process-wide metrics registry in Prometheus text format.
 
+Endpoints (all responses are JSON unless noted)::
+
+    GET  /metrics              Prometheus text exposition (0.0.4)
+    GET  /v1/traces            finished traces, newest first
+                               ?min_ms=F&limit=N&slow=1&id=<trace_id>
     GET  /v1/health            liveness + session identity
     GET  /v1/stats             cache / engine / scheduler statistics
+                               + metrics registry snapshot + tracer stats
     POST /v1/explain/global    {"attributes"?, "max_pairs_per_attribute"?}
     POST /v1/explain/context   {"context": {attr: value}, ...}
     POST /v1/explain/local     {"index"? | "individual"?, "attributes"?}
@@ -64,6 +75,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 from urllib.parse import parse_qs, urlsplit
 
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _tracing
 from repro.service.session import (
     AuditRequest,
     ContextExplainRequest,
@@ -85,6 +98,43 @@ from repro.utils.exceptions import (
 
 MAX_BODY_BYTES = 8 << 20
 
+_obs.get_registry().declare(
+    "repro_http_requests_total",
+    "counter",
+    "HTTP requests served, by method and status code.",
+)
+_obs.get_registry().declare(
+    "repro_http_request_seconds",
+    "histogram",
+    "End-to-end HTTP request latency in seconds, by method.",
+)
+
+#: labelled-instrument cache: format the label suffix once per
+#: (method, status) / method, not once per request.
+_HTTP_COUNTERS: dict[tuple[str, int], Any] = {}
+_HTTP_HISTOGRAMS: dict[str, Any] = {}
+
+
+def _http_counter(method: str, status: int):
+    counter = _HTTP_COUNTERS.get((method, status))
+    if counter is None:
+        counter = _obs.get_registry().counter(
+            "repro_http_requests_total",
+            labels={"method": method, "status": str(status)},
+        )
+        _HTTP_COUNTERS[(method, status)] = counter
+    return counter
+
+
+def _http_histogram(method: str):
+    histogram = _HTTP_HISTOGRAMS.get(method)
+    if histogram is None:
+        histogram = _obs.get_registry().histogram(
+            "repro_http_request_seconds", labels={"method": method}
+        )
+        _HTTP_HISTOGRAMS[method] = histogram
+    return histogram
+
 #: first path segments that can never be tenant names; tenant creation
 #: rejects them (``repro.store.artifacts.RESERVED_TENANT_NAMES`` — keep
 #: the two literals in sync; importing across the packages would cycle)
@@ -99,6 +149,9 @@ RESERVED_SEGMENTS = {
     "registry",
     "monitors",
     "watch",
+    "metrics",
+    "traces",
+    "obs",
     "v1",
 }
 
@@ -277,6 +330,30 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ----------------------------------------------------------
 
+    def _observe_http(self, status: int) -> None:
+        """Count the request and observe its latency (flag-gated)."""
+        if not _obs.enabled():
+            return
+        method = str(getattr(self, "command", None) or "?")
+        _http_counter(method, int(status)).inc()
+        started = getattr(self, "_request_started", None)
+        if started is not None:
+            _http_histogram(method).observe(time.perf_counter() - started)
+
+    def _send_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._observe_http(status)
+
     def _send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
         self.send_response(status)
@@ -291,6 +368,7 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
+        self._observe_http(status)
 
     def _read_body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -380,6 +458,29 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
             session, cursor=cursor, timeout=timeout
         )
 
+    # -- observability endpoints -------------------------------------------
+
+    def _traces_get(self) -> dict:
+        """``/v1/traces``: finished traces from the in-memory rings."""
+        query = self._query()
+        tracer = _tracing.get_tracer()
+        trace_id = query.get("id")
+        if trace_id is not None:
+            record = tracer.get(trace_id)
+            if record is None:
+                raise NotFound(f"unknown trace {trace_id!r}")
+            return {"traces": [record], "tracer": tracer.stats()}
+        try:
+            min_ms = float(query.get("min_ms", 0.0))
+            limit = int(query.get("limit", 50))
+        except ValueError as exc:
+            raise BadRequest(f"min_ms/limit must be numeric: {exc}") from exc
+        slow_only = query.get("slow", "") in ("1", "true", "yes")
+        return {
+            "traces": tracer.query(min_ms=min_ms, limit=limit, slow_only=slow_only),
+            "tracer": tracer.stats(),
+        }
+
     # -- registry endpoints ------------------------------------------------
 
     def _registry_get(self, parts: list[str]) -> dict:
@@ -439,8 +540,22 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._request_started = time.perf_counter()
+        request_id = _tracing.new_id()
         try:
             parts = self._segments()
+            if parts == ["metrics"]:
+                # Prometheus text exposition; reachable at /metrics and
+                # /v1/metrics, no session or tenant load required.
+                self._send_text(
+                    200,
+                    _obs.get_registry().to_prometheus(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+                return
+            if parts == ["traces"]:
+                self._send_json(200, self._traces_get())
+                return
             if parts and parts[0] == "registry":
                 self._send_json(200, self._registry_get(parts))
                 return
@@ -462,7 +577,10 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                         },
                     )
                 else:
-                    self._send_json(200, self.registry.stats())
+                    stats = self.registry.stats()
+                    stats["metrics"] = _obs.get_registry().snapshot()
+                    stats["tracing"] = _tracing.get_tracer().stats()
+                    self._send_json(200, stats)
                 return
             session, sub = self._resolve()
             if sub == "/v1/health":
@@ -483,6 +601,11 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                     attached = scheduler.peek(session)
                     if attached is not None:
                         stats["monitors"] = attached.stats()
+                # one-stop snapshot: the classic per-session keys above
+                # stay for compatibility; "metrics" is the authoritative
+                # process-wide registry view those keys now mirror.
+                stats["metrics"] = _obs.get_registry().snapshot()
+                stats["tracing"] = _tracing.get_tracer().stats()
                 self._send_json(200, stats)
             elif sub == "/v1/monitors" or sub.startswith("/v1/monitors/"):
                 self._send_json(200, self._monitors_get(session, sub))
@@ -491,15 +614,20 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
             else:
                 raise NotFound(f"unknown endpoint {self.path!r}")
         except NotFound as exc:
-            self._send_json(404, {"error": str(exc)})
+            self._send_json(404, {"error": str(exc), "request_id": request_id})
         except (BadRequest, ValueError) as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._send_json(400, {"error": str(exc), "request_id": request_id})
         except Exception as exc:  # noqa: BLE001 - internal defects -> 500
             self._send_json(
-                500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+                500,
+                {
+                    "error": f"internal error: {type(exc).__name__}: {exc}",
+                    "request_id": request_id,
+                },
             )
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._request_started = time.perf_counter()
         try:
             self._read_body()  # drain so keep-alive stays in sync
             parts = self._segments()
@@ -531,6 +659,17 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         started = time.perf_counter()
+        self._request_started = started
+        # The request id doubles as the trace id: it is echoed in the
+        # response (success or error), stamped into WAL records written
+        # on this request's behalf, and keys the /v1/traces lookup.
+        request_id = _tracing.new_id()
+
+        def error(status: int, message: str) -> None:
+            self._send_json(
+                status, {"error": message, "request_id": request_id}
+            )
+
         try:
             parts = self._segments()
             if parts and parts[0] == "registry":
@@ -553,49 +692,69 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                     return self._monitor_scheduler().ensure(target).add(payload)
                 return target.handle(_build_request(sub, payload))
 
-            try:
-                response = dispatch(session)
-            except StoreError as exc:
-                # The session may have been evicted (log sealed) between
-                # resolution and dispatch; one re-resolve gets the
-                # tenant's freshly restored session instead of bouncing
-                # a valid request back to the client.
-                if "sealed" not in str(exc) or self.registry is None:
-                    raise
-                session, sub = self._resolve()
-                response = dispatch(session)
+            # The trace context closes before the response is sent, so a
+            # follow-up /v1/traces?id=<request_id> always finds it.
+            with _tracing.trace(
+                f"POST {sub}",
+                trace_id=request_id,
+                tags={"method": "POST", "route": sub, "tenant": session.tenant},
+            ):
+                try:
+                    response = dispatch(session)
+                except StoreError as exc:
+                    # The session may have been evicted (log sealed) between
+                    # resolution and dispatch; one re-resolve gets the
+                    # tenant's freshly restored session instead of bouncing
+                    # a valid request back to the client.
+                    if "sealed" not in str(exc) or self.registry is None:
+                        raise
+                    session, sub = self._resolve()
+                    response = dispatch(session)
         except NotFound as exc:
-            self._send_json(404, {"error": str(exc)})
+            error(404, str(exc))
             return
         except (BadRequest, DomainError, ValueError) as exc:
             # ValueError is the library's client-error convention
             # (malformed deltas, bad selectors, missing actionables).
-            self._send_json(400, {"error": str(exc)})
+            error(400, str(exc))
             return
         except KeyError as exc:
-            self._send_json(400, {"error": f"unknown attribute: {exc}"})
+            error(400, f"unknown attribute: {exc}")
             return
         except IndexError as exc:
-            self._send_json(400, {"error": f"row index out of range: {exc}"})
+            error(400, f"row index out of range: {exc}")
             return
         except RecourseInfeasibleError as exc:
-            self._send_json(409, {"error": f"recourse infeasible: {exc}"})
+            error(409, f"recourse infeasible: {exc}")
             return
         except EstimationError as exc:
-            self._send_json(422, {"error": f"unsupported conditioning event: {exc}"})
+            error(422, f"unsupported conditioning event: {exc}")
             return
         except StoreError as exc:
             # transient persistence-layer contention (e.g. racing an
             # eviction): the request is valid, a retry will succeed
-            self._send_json(503, {"error": f"store busy: {exc}"})
+            error(503, f"store busy: {exc}")
             return
         except Exception as exc:  # noqa: BLE001 - internal defects -> 500
-            self._send_json(
-                500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
-            )
+            error(500, f"internal error: {type(exc).__name__}: {exc}")
             return
+        # elapsed_ms covers the whole handler — body read, micro-batcher
+        # queue wait, compute, serialization — while queue_ms/compute_ms
+        # break out the dispatch lane's share from the finished trace
+        # (both 0.0 on cache hits or with observability disabled).
+        queue_ms = compute_ms = 0.0
+        record = _tracing.get_tracer().get(request_id)
+        if record is not None:
+            for recorded in record["spans"]:
+                if recorded["name"] == "queue_wait":
+                    queue_ms += recorded["duration_ms"]
+                elif recorded["name"] == "compute":
+                    compute_ms += recorded["duration_ms"]
         response["table_version"] = session.table_version
+        response["request_id"] = request_id
         response["elapsed_ms"] = round((time.perf_counter() - started) * 1e3, 3)
+        response["queue_ms"] = round(queue_ms, 3)
+        response["compute_ms"] = round(compute_ms, 3)
         self._send_json(200, response)
 
 
@@ -615,6 +774,10 @@ def create_server(
     """
     if session is None and registry is None:
         raise ValueError("create_server needs a session, a registry, or both")
+    # Import every instrumented subsystem so /metrics advertises the full
+    # family set (TYPE/HELP headers) from the very first scrape, before
+    # any labelled series exists.
+    _obs.preregister()
     handler = type(
         "BoundHandler", (ExplainerRequestHandler,), {"verbose": verbose}
     )

@@ -37,6 +37,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -47,6 +48,7 @@ from repro.core.fairness import FairnessAuditor, FairnessVerdict
 from repro.core.lewis import Lewis
 from repro.core.recourse import Recourse
 from repro.data.table import Column
+from repro.obs import metrics as _obs
 from repro.service.cache import ResultCache
 from repro.service.scheduler import MicroBatcher
 from repro.service.updates import TableDelta, apply_delta
@@ -329,6 +331,60 @@ class UpdateRequest:
 # the session
 
 
+def _session_collector(ref: "weakref.ref[ExplainerSession]"):
+    """Registry collector sampling one (weakly-held) session at scrape time."""
+
+    def collect() -> dict:
+        session = ref()
+        if session is None:
+            raise LookupError("session gone")  # auto-unregisters the collector
+        labels = {"tenant": session.tenant or "default"}
+        samples: dict[str, float] = {}
+        samples.update(session.cache.stats_struct().metric_samples(labels))
+        estimator = session.lewis.estimator
+        samples.update(
+            estimator.engine.cache_stats().metric_samples(labels)
+        )
+        samples.update(
+            estimator.local_model_cache_stats().metric_samples(labels)
+        )
+        samples[_obs.full_name("repro_session_requests_served", labels)] = float(
+            session._served
+        )
+        samples[_obs.full_name("repro_session_n_rows", labels)] = float(
+            len(session.lewis.data)
+        )
+        samples[_obs.full_name("repro_session_table_version", labels)] = float(
+            session.table_version
+        )
+        batcher = session._batcher.stats()
+        samples[_obs.full_name("repro_batcher_largest_batch", labels)] = float(
+            batcher["largest_batch"]
+        )
+        samples[_obs.full_name("repro_batcher_mean_batch", labels)] = float(
+            batcher["mean_batch"]
+        )
+        for name, value in session.lewis.solver_stats().items():
+            samples[
+                _obs.full_name(f"repro_solver_{name}", labels)
+            ] = float(value)
+        log = getattr(session, "log", None)
+        if log is not None:
+            wal = log.stats()
+            samples[_obs.full_name("repro_wal_records", labels)] = float(
+                wal["records"]
+            )
+            samples[_obs.full_name("repro_wal_last_seq", labels)] = float(
+                wal["last_seq"]
+            )
+            samples[_obs.full_name("repro_wal_bytes", labels)] = float(
+                wal["bytes"]
+            )
+        return samples
+
+    return collect
+
+
 def model_fingerprint(model: Any, data) -> str:
     """Stable digest identifying (model, schema) for cache keying.
 
@@ -432,6 +488,15 @@ class ExplainerSession:
             max_batch=max_batch,
             start=background,
         )
+        # Weakly-referenced registry collector: all three cache layers,
+        # session gauges, solver memo counters and (when durable) WAL
+        # counters are sampled at scrape time under one tenant label.
+        # The collector raising LookupError once the session is gone is
+        # what auto-unregisters it, so evicted sessions never pin memory.
+        self._collector_key = f"session:{id(self)}"
+        _obs.get_registry().register_collector(
+            self._collector_key, _session_collector(weakref.ref(self))
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -446,6 +511,7 @@ class ExplainerSession:
 
     def close(self) -> None:
         """Stop the dispatch thread (idempotent)."""
+        _obs.get_registry().unregister_collector(self._collector_key)
         self._batcher.close()
 
     def __enter__(self) -> "ExplainerSession":
@@ -795,6 +861,7 @@ class ExplainerSession:
 
     def stats(self) -> dict:
         """Aggregate session / cache / engine / scheduler statistics."""
+        estimator = self.lewis.estimator
         return {
             "tenant": self.tenant,
             "fingerprint": self.fingerprint,
@@ -803,7 +870,16 @@ class ExplainerSession:
             "n_rows": len(self.lewis.data),
             "requests_served": self._served,
             "cache": self.cache.stats(),
-            "engine": self.lewis.estimator.engine.stats(),
-            "local_models": self.lewis.estimator.local_model_stats(),
+            "engine": estimator.engine.stats(),
+            "local_models": estimator.local_model_stats(),
             "scheduler": self._batcher.stats(),
+            # unified cache schema (one shape for all three layers); the
+            # flat keys above are the deprecated legacy views of the same
+            # counters and will be dropped in a future release.
+            "caches": {
+                "result": self.cache.stats_struct().as_dict(),
+                "tensor": estimator.engine.cache_stats().as_dict(),
+                "local_model": estimator.local_model_cache_stats().as_dict(),
+            },
+            "solver": self.lewis.solver_stats(),
         }

@@ -52,7 +52,8 @@ _NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._
 #: Keep in sync with ``repro.service.server.RESERVED_SEGMENTS``.
 RESERVED_TENANT_NAMES = frozenset(
     {"health", "stats", "explain", "recourse", "audit", "scores",
-     "update", "registry", "monitors", "watch", "v1"}
+     "update", "registry", "monitors", "watch", "metrics", "traces",
+     "obs", "v1"}
 )
 
 

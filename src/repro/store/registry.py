@@ -24,6 +24,7 @@ import threading
 from pathlib import Path
 
 from repro.core.lewis import Lewis
+from repro.obs import metrics as _obs
 from repro.service.cache import ResultCache
 from repro.store.artifacts import ArtifactStore, check_tenant_name
 from repro.store.snapshot import (
@@ -34,6 +35,15 @@ from repro.store.snapshot import (
 from repro.store.wal import DurableSession
 from repro.utils.exceptions import StoreError
 from repro.utils.lru import ByteBudgetLRU
+
+_REGISTRY_LOADS = _obs.get_registry().counter(
+    "repro_registry_loads_total",
+    "Tenant sessions restored from disk by the registry.",
+)
+_REGISTRY_EVICTIONS = _obs.get_registry().counter(
+    "repro_registry_evictions_total",
+    "Tenant sessions evicted by the registry's byte budget.",
+)
 
 
 def session_footprint(session: DurableSession) -> int:
@@ -104,6 +114,7 @@ class Registry:
         # thread — is deferred past the lock via the buffer.
         session.log.seal()
         self._evicted.append(session)
+        _REGISTRY_EVICTIONS.inc()
 
     def _insert(self, name: str, session: DurableSession) -> None:
         """Admit a session, capping its accounted size at the budget.
@@ -179,6 +190,7 @@ class Registry:
             )
             self._insert(name, session)
             self._loads += 1
+            _REGISTRY_LOADS.inc()
             return session
 
     def add(self, name: str, lewis: Lewis, default_actionable=None) -> DurableSession:
@@ -227,6 +239,7 @@ class Registry:
                 )
                 self._insert(name, session)
                 self._loads += 1
+                _REGISTRY_LOADS.inc()
             return checkpoint_session(self._store, session, name)
 
     def evict(self, name: str) -> bool:

@@ -31,12 +31,23 @@ import hashlib
 import json
 import os
 import threading
+import time
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.obs import metrics as _obs
+from repro.obs import tracing as _tracing
 from repro.service.session import ExplainerSession, jsonable
 from repro.service.updates import TableDelta
 from repro.utils.exceptions import StoreError
+
+_WAL_APPENDS = _obs.get_registry().counter(
+    "repro_wal_appends_total", "Deltas durably appended to write-ahead logs."
+)
+_WAL_FSYNC_SECONDS = _obs.get_registry().histogram(
+    "repro_wal_fsync_seconds",
+    "Write + flush + fsync wall time of one WAL append.",
+)
 
 
 def _record_digest(core: Mapping[str, Any]) -> str:
@@ -44,7 +55,7 @@ def _record_digest(core: Mapping[str, Any]) -> str:
     return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
 
 
-def _record_core(seq: int, delta: TableDelta) -> dict:
+def _record_core(seq: int, delta: TableDelta, request_id: str | None = None) -> dict:
     """The JSON form of one record — portable values only.
 
     Numpy scalars collapse to their Python equivalents (the session
@@ -53,12 +64,19 @@ def _record_core(seq: int, delta: TableDelta) -> dict:
     :func:`_record_line` *before* the record is acknowledged — a silent
     ``str()`` coercion here would replay as a different value than the
     live session applied.
+
+    ``request_id`` is the originating request's trace id, recorded (and
+    covered by the digest) only when present so logs written before the
+    field existed still verify.
     """
-    return {
+    core = {
         "seq": seq,
         "insert": jsonable([dict(row) for row in delta.insert]),
         "delete": [int(index) for index in delta.delete],
     }
+    if request_id is not None:
+        core["request_id"] = str(request_id)
+    return core
 
 
 def _record_line(core: Mapping[str, Any]) -> bytes:
@@ -108,12 +126,16 @@ class DeltaLog:
 
     # -- reading -----------------------------------------------------------
 
-    def _scan(self) -> tuple[list[tuple[int, TableDelta]], int, int]:
-        """Parse the log; returns (records, valid byte length, total bytes)."""
+    def _scan(self) -> tuple[list[tuple[int, TableDelta, str | None]], int, int]:
+        """Parse the log; returns (records, valid byte length, total bytes).
+
+        Records are ``(seq, delta, request_id)`` triples; ``request_id``
+        is ``None`` for records written before the field existed.
+        """
         if not self.path.exists():
             return [], 0, 0
         raw = self.path.read_bytes()
-        records: list[tuple[int, TableDelta]] = []
+        records: list[tuple[int, TableDelta, str | None]] = []
         offset = 0
         last_seq = 0
         # Only newline-terminated lines are records. append() fsyncs the
@@ -136,6 +158,8 @@ class DeltaLog:
                     "insert": record["insert"],
                     "delete": record["delete"],
                 }
+                if "request_id" in record:
+                    core["request_id"] = record["request_id"]
                 ok = record.get("crc") == _record_digest(core)
                 seq = int(record["seq"])
             except (ValueError, KeyError, TypeError):
@@ -152,7 +176,13 @@ class DeltaLog:
                     "refusing to replay an unreliable history"
                 )
             records.append(
-                (seq, TableDelta(insert=tuple(core["insert"]), delete=tuple(core["delete"])))
+                (
+                    seq,
+                    TableDelta(
+                        insert=tuple(core["insert"]), delete=tuple(core["delete"])
+                    ),
+                    core.get("request_id"),
+                )
             )
             last_seq = seq
             offset += chunk
@@ -165,7 +195,17 @@ class DeltaLog:
         """Records with sequence number greater than ``after``, in order."""
         with self._lock:
             records, _valid, _total = self._scan()
-        return [(seq, delta) for seq, delta in records if seq > after]
+        return [(seq, delta) for seq, delta, _rid in records if seq > after]
+
+    def replay_annotated(
+        self, after: int = 0
+    ) -> list[tuple[int, TableDelta, str | None]]:
+        """Like :meth:`replay` but including each record's request id."""
+        with self._lock:
+            records, _valid, _total = self._scan()
+        return [
+            (seq, delta, rid) for seq, delta, rid in records if seq > after
+        ]
 
     @property
     def last_seq(self) -> int:
@@ -211,11 +251,13 @@ class DeltaLog:
 
     # -- writing -----------------------------------------------------------
 
-    def append(self, delta: TableDelta) -> int:
+    def append(self, delta: TableDelta, request_id: str | None = None) -> int:
         """Durably append one delta; returns its sequence number.
 
         The record is on disk (flushed + fsynced) before this returns —
         the write-ahead guarantee the durable session relies on.
+        ``request_id`` (the originating trace id) is stored in the
+        record and covered by its digest.
         """
         with self._lock:
             if self._sealed:
@@ -224,7 +266,7 @@ class DeltaLog:
                     "evicted); re-fetch the tenant from the registry"
                 )
             seq = self._last_seq + 1
-            line = _record_line(_record_core(seq, delta))
+            line = _record_line(_record_core(seq, delta, request_id))
             if self._records == 0:
                 self._first_seq = seq
             if self._fh is None:
@@ -237,14 +279,24 @@ class DeltaLog:
                     from repro.store.artifacts import _fsync_dir
 
                     _fsync_dir(self.path.parent)
+            write_started = time.perf_counter()
             self._fh.write(line)
             self._fh.flush()
             if self._fsync:
                 os.fsync(self._fh.fileno())
+            elapsed = time.perf_counter() - write_started
             self._last_seq = seq
             self._records += 1
             self._appended += 1
-            return seq
+        _WAL_APPENDS.inc()
+        _WAL_FSYNC_SECONDS.observe(elapsed)
+        _tracing.record_span(
+            _tracing.current_context(),
+            "wal_fsync",
+            elapsed * 1e3,
+            tags={"seq": seq},
+        )
+        return seq
 
     def truncate_through(self, seq: int) -> int:
         """Checkpoint compaction: drop records with sequence <= ``seq``.
@@ -256,7 +308,7 @@ class DeltaLog:
         """
         with self._lock:
             records, _valid, _total = self._scan()
-            keep = [(s, d) for s, d in records if s > seq]
+            keep = [(s, d, r) for s, d, r in records if s > seq]
             if len(keep) == len(records):
                 return len(keep)
             if self._fh is not None:
@@ -264,8 +316,8 @@ class DeltaLog:
                 self._fh = None
             tmp = self.path.with_name(self.path.name + ".compact")
             with open(tmp, "wb") as fh:
-                for s, delta in keep:
-                    fh.write(_record_line(_record_core(s, delta)))
+                for s, delta, rid in keep:
+                    fh.write(_record_line(_record_core(s, delta, rid)))
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, self.path)
@@ -354,7 +406,14 @@ class DurableSession(ExplainerSession):
             delta = TableDelta.from_json(delta)
         with self._wal_lock:
             self._validate(delta)
-            seq = self.log.append(delta) if not delta.is_empty else self.log.last_seq
+            if delta.is_empty:
+                seq = self.log.last_seq
+            else:
+                # The record remembers which request wrote it, so a WAL
+                # entry can be joined back to its trace and HTTP response.
+                seq = self.log.append(
+                    delta, request_id=_tracing.current_trace_id()
+                )
             response = super().update(delta)
         response["result"]["wal_seq"] = seq
         return response

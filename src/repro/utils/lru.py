@@ -158,15 +158,23 @@ class ByteBudgetLRU:
         """Approximate total size of the cached values."""
         return self._bytes
 
+    def stats_struct(self, name: str = "lru") -> "CacheStats":
+        """Counters as the unified :class:`~repro.obs.metrics.CacheStats`.
+
+        This is the one cache-statistics schema in the system; every
+        cache exports it through the metrics registry as
+        ``repro_cache_*{cache=...}`` gauges.
+        """
+        from repro.obs.metrics import CacheStats
+
+        return CacheStats.from_lru(name, self)
+
     def stats(self) -> dict:
-        """Counters in the shape shared by every cache in the system."""
-        total = self._hits + self._misses
-        return {
-            "entries": len(self._items),
-            "bytes": self._bytes,
-            "max_bytes": self.max_bytes,
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "hit_rate": (self._hits / total) if total else 0.0,
-        }
+        """Deprecated dict view of :meth:`stats_struct` (back-compat shim).
+
+        The key set predates the unified :class:`~repro.obs.metrics
+        .CacheStats` schema and is kept byte-for-byte for existing
+        callers; new code should use :meth:`stats_struct` or read the
+        ``repro_cache_*`` gauges from the metrics registry.
+        """
+        return self.stats_struct().legacy_dict()
