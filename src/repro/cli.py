@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro import Lewis, __version__, fit_table_model, load_dataset, train_test_split
@@ -334,18 +335,30 @@ def _monitor_base_url(args) -> str:
     return base
 
 
-def _http_json(url: str, method: str = "GET", payload=None) -> dict:
+def _http_json_raw(url: str, method: str = "GET", payload=None) -> dict:
+    """One JSON request; lets ``urllib.error`` exceptions propagate.
+
+    The reconnecting callers (``monitor watch --follow``) need the raw
+    error to decide retryability; everyone else goes through
+    :func:`_http_json`, which converts to a ``SystemExit``.
+    """
     import json as _json
-    from urllib import error, request
+    from urllib import request
 
     data = _json.dumps(payload).encode() if payload is not None else None
     req = request.Request(
         url, data=data, method=method,
         headers={"Content-Type": "application/json"},
     )
+    with request.urlopen(req) as resp:
+        return _json.loads(resp.read())
+
+
+def _http_json(url: str, method: str = "GET", payload=None) -> dict:
+    from urllib import error
+
     try:
-        with request.urlopen(req) as resp:
-            return _json.loads(resp.read())
+        return _http_json_raw(url, method, payload)
     except error.HTTPError as exc:
         body = exc.read().decode("utf-8", "replace")
         raise SystemExit(f"HTTP {exc.code} from {url}: {body}") from exc
@@ -397,11 +410,42 @@ def cmd_monitor(args) -> int:
         print(f"{result['id']}: {'removed' if result['removed'] else 'not found'}")
         return 0 if result["removed"] else 1
     if args.monitor_command == "watch":
+        from urllib import error as _urlerror
+
         cursor = args.cursor
+        backoff = 0.5
         while True:
-            result = _http_json(
-                f"{base}/watch?cursor={cursor}&timeout={args.timeout}"
-            )
+            try:
+                result = _http_json_raw(
+                    f"{base}/watch?cursor={cursor}&timeout={args.timeout}"
+                )
+            except (_urlerror.HTTPError, _urlerror.URLError, OSError) as exc:
+                # In --follow mode a draining/overloaded server (503/429)
+                # or a dropped connection is transient: back off and
+                # reconnect with the same cursor, so no buffered alert is
+                # ever skipped. One-shot mode keeps the old hard exit.
+                status = getattr(exc, "code", None)
+                retryable = status in (429, 503) or status is None
+                if not (args.follow and retryable):
+                    if status is not None:
+                        body = exc.read().decode("utf-8", "replace")
+                        raise SystemExit(
+                            f"HTTP {status} from {base}/watch: {body}"
+                        ) from exc
+                    raise SystemExit(
+                        f"cannot reach {base}/watch: "
+                        f"{getattr(exc, 'reason', exc)}"
+                    ) from exc
+                print(
+                    f"(watch interrupted: "
+                    f"{f'HTTP {status}' if status else getattr(exc, 'reason', exc)}; "
+                    f"reconnecting in {backoff:.1f}s)",
+                    file=sys.stderr,
+                )
+                time.sleep(backoff)
+                backoff = min(backoff * 2, 10.0)
+                continue
+            backoff = 0.5  # healthy response: reset the reconnect ladder
             for alert in result["alerts"]:
                 print(render_alert(alert))
             if result.get("cursor_truncated"):

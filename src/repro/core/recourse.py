@@ -38,6 +38,7 @@ from repro.obs import metrics as _obs
 from repro.obs import tracing as _tracing
 from repro.opt.integer_program import IntegerProgram
 from repro.opt.parametric import SignatureSkeleton
+from repro.utils import deadline as _deadline
 from repro.utils.exceptions import RecourseInfeasibleError
 from repro.utils.validation import check_probability
 
@@ -62,6 +63,14 @@ _SOLVER_DONOR_SEEDED = _obs.get_registry().counter(
 _SOLVER_PARALLEL_BATCHES = _obs.get_registry().counter(
     "repro_solver_parallel_batches_total",
     "Batch solves dispatched to the process pool.",
+)
+_SOLVER_POOL_FAILURES = _obs.get_registry().counter(
+    "repro_solver_pool_failures_total",
+    "Process-pool attempts lost to crashed workers or timeouts.",
+)
+_SOLVER_POOL_FALLBACKS = _obs.get_registry().counter(
+    "repro_solver_pool_fallbacks_total",
+    "Batch solves completed inline after the pool failed twice.",
 )
 _SOLVER_CHUNK_SECONDS = _obs.get_registry().histogram(
     "repro_solver_chunk_seconds",
@@ -171,6 +180,11 @@ class RecourseSolver:
     #: (with identical results either way).
     parallel_threshold = 128
 
+    #: wall-clock budget for one pool attempt (``None`` = unbounded).
+    #: A hung worker then surfaces as a timeout instead of wedging the
+    #: batch; the request's deadline, when tighter, takes precedence.
+    pool_timeout_s: float | None = None
+
     def __init__(
         self,
         estimator: ScoreEstimator,
@@ -236,6 +250,8 @@ class RecourseSolver:
             "donor_seeded_searches": 0,
             "search_nodes": 0,
             "parallel_batches": 0,
+            "pool_failures": 0,
+            "pool_fallbacks": 0,
         }
 
     # -- IP construction ---------------------------------------------------
@@ -577,6 +593,7 @@ class RecourseSolver:
         rows_codes = list(rows_codes)
         if not rows_codes:
             return []
+        _deadline.check("recourse solve_batch")
         names = self.actionable + self.context_names
         matrix = np.array(
             [[int(row[name]) for name in names] for row in rows_codes],
@@ -645,6 +662,7 @@ class RecourseSolver:
                 and len(payloads) > 1
                 and len(items) >= self.parallel_threshold
             )
+            chunk_results = None
             if use_pool:
                 chunk_results = self._run_chunks_parallel(
                     payloads, int(workers), mp_context
@@ -652,17 +670,25 @@ class RecourseSolver:
                 self._counters["parallel_batches"] += 1
                 if _obs.enabled():
                     _SOLVER_PARALLEL_BATCHES.inc()
-            else:
-                chunk_results = [
-                    solve_chunk(
-                        payload,
-                        skeletons={
-                            key: self._skeleton_for_key(key)
-                            for key in payload["skeletons"]
-                        },
+            if chunk_results is None:
+                # The serial path — and the containment path: when the
+                # pool died twice (crashed workers, timeouts), the same
+                # payloads run inline through the same solve_chunk, so
+                # the fallback is bit-identical to serial by construction.
+                if use_pool:
+                    _deadline.check("recourse pool fallback")
+                chunk_results = []
+                for payload in payloads:
+                    _deadline.check("recourse chunk solve")
+                    chunk_results.append(
+                        solve_chunk(
+                            payload,
+                            skeletons={
+                                key: self._skeleton_for_key(key)
+                                for key in payload["skeletons"]
+                            },
+                        )
                     )
-                    for payload in payloads
-                ]
             chunk_results = [self._ingest_chunk(c) for c in chunk_results]
             with _tracing.span("recourse_merge", tags={"signatures": len(items)}):
                 for item, result in zip(
@@ -693,23 +719,52 @@ class RecourseSolver:
                 out.append(solved)
         return out
 
-    @staticmethod
     def _run_chunks_parallel(
-        payloads: list[dict], workers: int, mp_context: str | None
-    ) -> list[list[dict] | dict]:
-        """Map :func:`solve_chunk` over payloads on a process pool."""
+        self, payloads: list[dict], workers: int, mp_context: str | None
+    ) -> list[list[dict] | dict] | None:
+        """Map :func:`solve_chunk` over payloads on a process pool.
+
+        Failure containment: a crashed worker (``BrokenProcessPool``),
+        a worker exceeding :attr:`pool_timeout_s` / the request deadline,
+        or a pool that cannot even start gets **one bounded retry** on a
+        fresh pool; if that fails too, returns ``None`` so the caller
+        runs the identical payloads inline — results are bit-identical
+        either way, only wall-clock differs.  Returning ``None`` instead
+        of raising keeps the policy (fallback) out of the mechanism.
+        """
         import multiprocessing as mp
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
 
         method = mp_context or (
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
         context = mp.get_context(method)
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(payloads)), mp_context=context
-        ) as pool:
-            # pool.map preserves payload order: the merge is deterministic.
-            return list(pool.map(solve_chunk, payloads))
+        for _attempt in range(2):  # first try + one bounded retry
+            timeout = self.pool_timeout_s
+            remaining = _deadline.remaining_s()
+            if remaining is not None:
+                timeout = remaining if timeout is None else min(timeout, remaining)
+                if timeout <= 0:
+                    _deadline.check("recourse pool dispatch")
+            pool = ProcessPoolExecutor(
+                max_workers=min(workers, len(payloads)), mp_context=context
+            )
+            try:
+                # pool.map preserves payload order: the merge is deterministic.
+                results = list(pool.map(solve_chunk, payloads, timeout=timeout))
+                pool.shutdown(wait=True)
+                return results
+            except (BrokenProcessPool, TimeoutError, OSError):
+                # don't block on possibly-hung workers during teardown
+                pool.shutdown(wait=False, cancel_futures=True)
+                self._counters["pool_failures"] += 1
+                if _obs.enabled():
+                    _SOLVER_POOL_FAILURES.inc()
+        self._counters["pool_fallbacks"] += 1
+        if _obs.enabled():
+            _SOLVER_POOL_FALLBACKS.inc()
+        return None
 
     def solution_memo_stats(self) -> dict:
         """Size and solve counters of the signature-keyed caches."""

@@ -38,6 +38,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+import repro.faults as _faults
 from repro.estimation.logit import logit
 from repro.opt.integer_program import IntegerProgram
 from repro.opt.parametric import (
@@ -329,6 +330,12 @@ def solve_chunk(
     chunk_started_unix = time.time()
     chunk_started = time.perf_counter()
     if skeletons is None:
+        # Pool workers rebuild skeletons (the inline path passes the
+        # parent's cache), which makes this the worker-only entry: the
+        # chaos suite injects crashes (os._exit) and stalls here to
+        # exercise BrokenProcessPool / timeout containment without ever
+        # firing on the inline fallback run of the same payloads.
+        _faults.inject("recourse.chunk")
         skeletons = {
             key: SignatureSkeleton.from_payload(p)
             for key, p in payload["skeletons"].items()

@@ -33,12 +33,12 @@ class Alert:
     """One typed drift alert, as appended to the monitor journal."""
 
     monitor_id: str
-    detector: str  # "threshold" | "cusum"
+    detector: str  # "threshold" | "cusum" | "refresh_failure"
     metric: str
     value: float
     baseline: float
     magnitude: float  # |value - baseline| (threshold) or accumulator (cusum)
-    direction: str  # "up" | "down"
+    direction: str  # "up" | "down" | "error" (refresh_failure)
     wal_seq: int
     table_version: int
 

@@ -33,6 +33,7 @@ import time
 from collections import deque
 from typing import Any, Mapping
 
+import repro.faults as _faults
 from repro.monitor.detectors import Alert, build_detectors
 from repro.monitor.journal import MonitorJournal
 from repro.monitor.summaries import compute_summary, encode_spec
@@ -45,6 +46,10 @@ _MONITOR_REFRESHES = _obs.get_registry().counter(
 )
 _MONITOR_REFRESH_ERRORS = _obs.get_registry().counter(
     "repro_monitor_refresh_errors_total", "Monitor refresh dispatches that failed."
+)
+_MONITOR_REFRESH_FAILURES = _obs.get_registry().counter(
+    "repro_monitor_refresh_failures_total",
+    "Individual monitors whose refresh raised (isolated, not fatal).",
 )
 _MONITOR_ALERTS = _obs.get_registry().counter(
     "repro_monitor_alerts_total", "Drift alerts emitted by monitors."
@@ -73,6 +78,7 @@ class MonitorSet:
         self._alert_seq = 0
         self._refreshes = 0
         self._refresh_errors = 0
+        self._refresh_failures = 0
         if journal is not None:
             self._recover(journal)
         # All mutation funnels through the session's dispatch lane.
@@ -245,11 +251,25 @@ class MonitorSet:
             "position": position,
             "monitors": len(self._monitors),
             "refreshed": 0,
+            "failed": 0,
             "alerts": 0,
         }
         for state in self._monitors.values():
             if position <= state["cursor"]:
                 continue  # nothing new past this monitor's cursor
+            # One monitor's failure must never starve the others: the
+            # whole per-monitor step is isolated, and the cursor only
+            # commits after a successful compute — a failed monitor
+            # retries the same range on the next refresh.
+            try:
+                _faults.inject("monitor.refresh")
+                summary = compute_summary(lewis, state["spec"])
+            except Exception as exc:  # noqa: BLE001 - isolate per monitor
+                self._refresh_failures += 1
+                _MONITOR_REFRESH_FAILURES.inc()
+                out["failed"] += 1
+                self._emit_refresh_failure(state, exc)
+                continue
             if log is not None and not log.cursor_valid(state["cursor"]):
                 # A checkpoint compacted the cursor's range away. The
                 # live tensors still hold the truth, so re-anchor — but
@@ -260,7 +280,6 @@ class MonitorSet:
             # exactly the number of delta batches this refresh covers
             state["batches_seen"] += position - state["cursor"]
             state["cursor"] = position
-            summary = compute_summary(lewis, state["spec"])
             state["summary"] = summary
             state["refreshes"] += 1
             self._refreshes += 1
@@ -269,12 +288,53 @@ class MonitorSet:
             metric = state["spec"]["metric"]
             value = float(summary[metric])
             baseline = float(state["baseline"][metric])
-            for detector in state["detectors"]:
-                fired = detector.update(value, baseline)
-                if fired is not None:
-                    self._emit(state, detector, metric, value, baseline, fired)
-                    out["alerts"] += 1
+            try:
+                for detector in state["detectors"]:
+                    fired = detector.update(value, baseline)
+                    if fired is not None:
+                        self._emit(state, detector, metric, value, baseline, fired)
+                        out["alerts"] += 1
+            except Exception as exc:  # noqa: BLE001 - isolate per monitor
+                self._refresh_failures += 1
+                _MONITOR_REFRESH_FAILURES.inc()
+                out["failed"] += 1
+                self._emit_refresh_failure(state, exc)
         return out
+
+    def _emit_refresh_failure(self, state: dict, exc: Exception) -> None:
+        """Surface a contained per-monitor refresh failure as an alert.
+
+        Typed like any drift alert so ``watch`` clients and the journal
+        see it, with ``detector="refresh_failure"`` / ``direction=
+        "error"`` marking it as operational rather than statistical.
+        """
+        metric = state["spec"]["metric"]
+        alert = Alert(
+            monitor_id=state["id"],
+            detector="refresh_failure",
+            metric=metric,
+            value=0.0,
+            baseline=float(state["baseline"].get(metric, 0.0)),
+            magnitude=0.0,
+            direction="error",
+            wal_seq=state["cursor"],
+            table_version=int(self._session.table_version),
+        )
+        state["alerts"] += 1
+        _MONITOR_ALERTS.inc()
+        if self._journal is not None:
+            data = {
+                "alert": alert.to_json(),
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+            request_id = _tracing.current_trace_id()
+            if request_id is not None:
+                data["request_id"] = request_id
+            self._journal.append("alert", data)
+        with self._cond:
+            self._alert_seq += 1
+            self._alerts.append((self._alert_seq, alert))
+            self._cond.notify_all()
 
     def _emit(
         self,
@@ -417,6 +477,7 @@ class MonitorSet:
             "buffered_alerts": len(self._alerts),
             "refreshes": self._refreshes,
             "refresh_errors": self._refresh_errors,
+            "refresh_failures": self._refresh_failures,
             "journal": self._journal.stats() if self._journal else None,
         }
 

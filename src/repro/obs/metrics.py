@@ -626,6 +626,7 @@ def preregister() -> None:
     """
     import repro.estimation.engine  # noqa: F401
     import repro.core.recourse  # noqa: F401
+    import repro.faults  # noqa: F401
     import repro.monitor.monitors  # noqa: F401
     import repro.service.scheduler  # noqa: F401
     import repro.store.registry  # noqa: F401

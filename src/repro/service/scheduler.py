@@ -20,6 +20,7 @@ The batcher is deliberately generic — handlers are plain
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -28,9 +29,16 @@ from typing import Any, Callable, Mapping
 
 from repro.obs import metrics as _obs
 from repro.obs import tracing as _tracing
+from repro.utils import deadline as _deadline
+from repro.utils.exceptions import DeadlineExceededError, OverloadedError
 
-#: queue item: (kind, payload, future, enqueued_perf, trace context).
-_Item = tuple[str, Any, Future, float, "dict | None"]
+#: queue item: (kind, payload, future, enqueued_perf, trace context,
+#: absolute monotonic deadline or None).
+_Item = tuple[str, Any, Future, float, "dict | None", "float | None"]
+
+#: default bound on queued-but-undispatched requests when the caller
+#: doesn't pass ``max_queue``; 0 or negative disables the bound.
+DEFAULT_MAX_QUEUE = 1024
 
 # Per-kind instruments are created lazily at first dispatch; declare the
 # families up front so /metrics advertises them from the first scrape.
@@ -52,6 +60,14 @@ _obs.get_registry().declare(
 _BATCHES_TOTAL = _obs.get_registry().counter(
     "repro_batcher_batches_total",
     "Dispatch rounds executed by the micro-batcher.",
+)
+_SHED_TOTAL = _obs.get_registry().counter(
+    "repro_batcher_shed_total",
+    "Requests rejected at submit because the bounded queue was full.",
+)
+_EXPIRED_TOTAL = _obs.get_registry().counter(
+    "repro_batcher_expired_total",
+    "Queued requests failed fast because their deadline passed in queue.",
 )
 
 #: per-kind instrument cache: label formatting + registry lookup happen
@@ -95,6 +111,14 @@ class MicroBatcher:
         Start the background dispatch thread immediately. With
         ``start=False`` the batcher runs in synchronous mode: callers
         must invoke :meth:`flush` (tests, single-threaded embedding).
+    max_queue:
+        Bound on queued-but-undispatched requests; a submit beyond it
+        raises :class:`OverloadedError` (the server turns that into a
+        429 + ``Retry-After``).  Shedding at the door keeps latency
+        bounded under overload: an unbounded queue accepts work it can
+        only serve long after every client gave up.  ``None`` reads
+        ``REPRO_MAX_QUEUE`` (default 1024); 0 or negative disables the
+        bound.
     """
 
     def __init__(
@@ -103,12 +127,16 @@ class MicroBatcher:
         window: float = 0.002,
         max_batch: int = 64,
         start: bool = True,
+        max_queue: int | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_queue is None:
+            max_queue = int(os.environ.get("REPRO_MAX_QUEUE", DEFAULT_MAX_QUEUE))
         self._handlers = dict(handlers)
         self._window = float(window)
         self._max_batch = int(max_batch)
+        self._max_queue = int(max_queue)
         self._queue: queue.Queue = queue.Queue()
         self._lock = threading.Lock()
         self._flush_lock = threading.Lock()
@@ -116,6 +144,8 @@ class MicroBatcher:
         self._requests = 0
         self._batches = 0
         self._largest_batch = 0
+        self._shed = 0
+        self._expired = 0
         self._thread: threading.Thread | None = None
         if start:
             self.start()
@@ -165,17 +195,37 @@ class MicroBatcher:
     # -- submission --------------------------------------------------------
 
     def submit(self, kind: str, payload: Any) -> Future:
-        """Enqueue one request; the future resolves after its batch runs."""
+        """Enqueue one request; the future resolves after its batch runs.
+
+        Raises :class:`OverloadedError` (without enqueueing) when the
+        bounded queue is already full — load shedding happens here, at
+        the cheapest possible point, before the request costs anything.
+        """
         if kind not in self._handlers:
             raise KeyError(
                 f"no handler for request kind {kind!r}; "
                 f"registered: {sorted(self._handlers)}"
             )
+        if self._max_queue > 0 and self._queue.qsize() >= self._max_queue:
+            self._shed += 1
+            if _obs.enabled():
+                _SHED_TOTAL.inc()
+            raise OverloadedError(
+                f"request queue full ({self._max_queue} pending); retry later"
+            )
         future: Future = Future()
-        # The caller's trace context rides along in the queue item so the
-        # dispatch thread can attribute queue wait and compute to it.
+        # The caller's trace context and deadline ride along in the queue
+        # item so the dispatch thread can attribute queue wait to the
+        # trace and fail queued-but-expired requests without computing.
         self._queue.put(
-            (kind, payload, future, time.perf_counter(), _tracing.current_context())
+            (
+                kind,
+                payload,
+                future,
+                time.perf_counter(),
+                _tracing.current_context(),
+                _deadline.current(),
+            )
         )
         return future
 
@@ -242,9 +292,22 @@ class MicroBatcher:
     def _dispatch(self, items: list[_Item]) -> None:
         observing = _obs.enabled()
         drained = time.perf_counter()
-        groups: dict[str, list[tuple[Any, Future, dict | None]]] = {}
-        for kind, payload, future, enqueued, ctx in items:
-            groups.setdefault(kind, []).append((payload, future, ctx))
+        now = time.monotonic()
+        groups: dict[str, list[tuple[Any, Future, dict | None, float | None]]] = {}
+        for kind, payload, future, enqueued, ctx, item_deadline in items:
+            if item_deadline is not None and now >= item_deadline:
+                # the deadline passed while the item sat in queue: fail
+                # fast rather than compute an answer nobody is awaiting
+                self._expired += 1
+                if observing:
+                    _EXPIRED_TOTAL.inc()
+                future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline expired while queued (kind {kind!r})"
+                    )
+                )
+                continue
+            groups.setdefault(kind, []).append((payload, future, ctx, item_deadline))
             if observing:
                 wait = drained - enqueued
                 _kind_instruments(kind)[0].observe(wait)
@@ -252,12 +315,21 @@ class MicroBatcher:
                     ctx, "queue_wait", wait * 1e3, tags={"kind": kind}
                 )
         for kind, entries in groups.items():
-            payloads = [p for p, _f, _c in entries]
+            payloads = [p for p, _f, _c, _d in entries]
             # Re-enter the first caller's trace so spans opened inside the
             # handler (solver chunks, WAL fsync) land in a real trace; the
             # other callers of the batch get a replayed ``compute`` span.
-            lead_ctx = next((c for _p, _f, c in entries if c is not None), None)
+            lead_ctx = next((c for _p, _f, c, _d in entries if c is not None), None)
+            # The handler computes for the whole group, so it runs under
+            # the group's most generous deadline: aborting at the tightest
+            # would fail co-batched requests that still have budget, and
+            # any item without a deadline means the group has none.
+            deadlines = [d for _p, _f, _c, d in entries]
+            group_deadline = (
+                max(deadlines) if all(d is not None for d in deadlines) else None
+            )
             compute_started = time.perf_counter()
+            token = _deadline.attach(group_deadline)
             try:
                 with _tracing.attach(lead_ctx):
                     results = self._handlers[kind](payloads)
@@ -267,19 +339,20 @@ class MicroBatcher:
                         f"for {len(payloads)} payloads"
                     )
             except BaseException as exc:  # propagate to every waiter
-                for _payload, future, _ctx in entries:
+                for _payload, future, _ctx, _d in entries:
                     future.set_exception(exc)
                 continue
             finally:
+                _deadline.restore(token)
                 if observing:
                     compute = time.perf_counter() - compute_started
                     instruments = _kind_instruments(kind)
                     instruments[1].observe(compute)
                     instruments[2].inc(len(entries))
                     tags = {"kind": kind, "batch_size": len(payloads)}
-                    for _payload, _future, ctx in entries:
+                    for _payload, _future, ctx, _d in entries:
                         _tracing.record_span(ctx, "compute", compute * 1e3, tags=tags)
-            for (_payload, future, _ctx), result in zip(entries, results):
+            for (_payload, future, _ctx, _d), result in zip(entries, results):
                 future.set_result(result)
         if observing:
             _BATCHES_TOTAL.inc()
@@ -310,5 +383,9 @@ class MicroBatcher:
             "mean_batch": (self._requests / self._batches) if self._batches else 0.0,
             "window_s": self._window,
             "max_batch": self._max_batch,
+            "max_queue": self._max_queue,
+            "queue_depth": self._queue.qsize(),
+            "shed": self._shed,
+            "expired": self._expired,
             "background": self._thread is not None,
         }

@@ -28,6 +28,9 @@ Endpoints (all responses are JSON unless noted)::
     GET  /metrics              Prometheus text exposition (0.0.4)
     GET  /v1/traces            finished traces, newest first
                                ?min_ms=F&limit=N&slow=1&id=<trace_id>
+    GET  /healthz              process liveness; 200 even while draining
+    GET  /readyz               per-subsystem readiness (store writable,
+                               queue headroom, drain state); 503 when not
     GET  /v1/health            liveness + session identity
     GET  /v1/stats             cache / engine / scheduler statistics
                                + metrics registry snapshot + tracer stats
@@ -68,6 +71,7 @@ that stop accepting, drain in-flight requests, and close the store.
 from __future__ import annotations
 
 import json
+import os
 import signal
 import threading
 import time
@@ -89,9 +93,13 @@ from repro.service.session import (
     ScoresRequest,
 )
 from repro.service.updates import TableDelta
+from repro.utils import deadline as _deadline
 from repro.utils.exceptions import (
+    DeadlineExceededError,
+    DegradedError,
     DomainError,
     EstimationError,
+    OverloadedError,
     RecourseInfeasibleError,
     StoreError,
 )
@@ -140,6 +148,8 @@ def _http_histogram(method: str):
 #: the two literals in sync; importing across the packages would cycle)
 RESERVED_SEGMENTS = {
     "health",
+    "healthz",
+    "readyz",
     "stats",
     "explain",
     "recourse",
@@ -307,6 +317,10 @@ class ExplainerHTTPServer(ThreadingHTTPServer):
     session: ExplainerSession | None = None
     registry = None
     monitors = None
+    #: set by :func:`serve` on SIGTERM/SIGINT: new work is refused with
+    #: 503 + Retry-After while in-flight requests finish (liveness and
+    #: metrics endpoints stay reachable for the supervisor).
+    draining: bool = False
 
 
 class ExplainerRequestHandler(BaseHTTPRequestHandler):
@@ -354,11 +368,18 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
         self._observe_http(status)
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload, default=str).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if status >= 400:
             # Error paths may leave an unread request body on the wire
             # (e.g. an oversized POST rejected before reading); under
@@ -381,6 +402,99 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
             return json.loads(raw)
         except json.JSONDecodeError as exc:
             raise BadRequest(f"invalid JSON body: {exc}") from exc
+
+    # -- failure containment -----------------------------------------------
+
+    def _shed_if_draining(self, parts: list[str]) -> bool:
+        """Refuse new work with 503 + Retry-After while draining.
+
+        Liveness (``/healthz``), readiness (``/readyz``) and ``/metrics``
+        stay reachable so supervisors and scrapers can watch the drain
+        complete.  Returns True when the request was answered here.
+        """
+        if not getattr(self.server, "draining", False):
+            return False
+        if parts and parts[0] in ("healthz", "readyz", "metrics"):
+            return False
+        self._send_json(
+            503,
+            {"error": "server is draining; retry against a healthy replica"},
+            headers={"Retry-After": "1"},
+        )
+        return True
+
+    def _deadline_ms(self) -> float | None:
+        """Per-request deadline budget in milliseconds, or ``None``.
+
+        The ``X-Repro-Deadline-Ms`` header overrides the server-wide
+        ``REPRO_DEADLINE_MS`` default; non-positive values disable the
+        deadline for this request.
+        """
+        raw = self.headers.get("X-Repro-Deadline-Ms")
+        if raw is None:
+            raw = os.environ.get("REPRO_DEADLINE_MS")
+            if raw is None:
+                return None
+            try:
+                value = float(raw)
+            except ValueError:
+                return None  # a bad server-wide default must not 400 requests
+        else:
+            try:
+                value = float(raw)
+            except ValueError as exc:
+                raise BadRequest(
+                    f"X-Repro-Deadline-Ms must be a number, got {raw!r}"
+                ) from exc
+        return value if value > 0 else None
+
+    def _health_report(self) -> tuple[bool, dict]:
+        """Per-subsystem readiness checks behind ``/readyz``.
+
+        Solver-pool failures are reported but never flip readiness: the
+        inline fallback contains them.  Queue saturation and an
+        unwritable store root do, because new work would bounce.
+        """
+        server = self.server
+        draining = bool(getattr(server, "draining", False))
+        checks: dict[str, dict[str, Any]] = {
+            "accepting": {"ok": not draining, "draining": draining}
+        }
+        session = server.session  # type: ignore[attr-defined]
+        if session is not None:
+            scheduler = session.stats()["scheduler"]
+            depth = int(scheduler.get("queue_depth", 0))
+            cap = int(scheduler.get("max_queue", 0))
+            checks["queue"] = {
+                "ok": not (cap > 0 and depth >= cap),
+                "depth": depth,
+                "max_queue": cap,
+                "shed": int(scheduler.get("shed", 0)),
+                "expired": int(scheduler.get("expired", 0)),
+            }
+            solver = session.lewis.solver_stats()
+            checks["solver_pool"] = {
+                "ok": True,
+                "pool_failures": int(solver.get("pool_failures", 0)),
+                "pool_fallbacks": int(solver.get("pool_fallbacks", 0)),
+            }
+        registry = self.registry
+        if registry is not None:
+            root = registry.store.root
+            writable = os.access(root, os.W_OK) and os.access(
+                root / "wal", os.W_OK
+            )
+            checks["store"] = {
+                "ok": writable,
+                "root": str(root),
+                "writable": writable,
+                "loaded": registry.loaded(),
+            }
+        ready = all(check["ok"] for check in checks.values())
+        return ready, {
+            "status": "ready" if ready else "unavailable",
+            "checks": checks,
+        }
 
     # -- routing -----------------------------------------------------------
 
@@ -544,6 +658,28 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
         request_id = _tracing.new_id()
         try:
             parts = self._segments()
+            if self._shed_if_draining(parts):
+                return
+            if parts == ["healthz"]:
+                # Pure liveness: answers 200 as long as the process can
+                # serve HTTP at all — draining included (the supervisor
+                # must not kill a replica that is still answering).
+                self._send_json(
+                    200,
+                    {
+                        "status": "alive",
+                        "draining": bool(getattr(self.server, "draining", False)),
+                    },
+                )
+                return
+            if parts == ["readyz"]:
+                ready, report = self._health_report()
+                self._send_json(
+                    200 if ready else 503,
+                    report,
+                    headers=None if ready else {"Retry-After": "1"},
+                )
+                return
             if parts == ["metrics"]:
                 # Prometheus text exposition; reachable at /metrics and
                 # /v1/metrics, no session or tenant load required.
@@ -631,6 +767,8 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
         try:
             self._read_body()  # drain so keep-alive stays in sync
             parts = self._segments()
+            if self._shed_if_draining(parts):
+                return
             registry = self.registry
             if registry is not None and len(parts) == 2 and parts[0] == "registry":
                 scheduler = self.server.monitors  # type: ignore[attr-defined]
@@ -665,19 +803,28 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
         # on this request's behalf, and keys the /v1/traces lookup.
         request_id = _tracing.new_id()
 
-        def error(status: int, message: str) -> None:
+        def error(
+            status: int,
+            message: str,
+            headers: Mapping[str, str] | None = None,
+        ) -> None:
             self._send_json(
-                status, {"error": message, "request_id": request_id}
+                status,
+                {"error": message, "request_id": request_id},
+                headers=headers,
             )
 
         try:
             parts = self._segments()
+            if self._shed_if_draining(parts):
+                return
             if parts and parts[0] == "registry":
                 self._read_body()  # drain the body so keep-alive stays in sync
                 self._send_json(200, self._registry_post(parts))
                 return
             session, sub = self._resolve()
             payload = self._read_body()
+            deadline_ms = self._deadline_ms()
 
             def dispatch(target):
                 if sub == "/v1/update":
@@ -693,8 +840,10 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                 return target.handle(_build_request(sub, payload))
 
             # The trace context closes before the response is sent, so a
-            # follow-up /v1/traces?id=<request_id> always finds it.
-            with _tracing.trace(
+            # follow-up /v1/traces?id=<request_id> always finds it.  The
+            # deadline scope opens here so the budget covers queue wait
+            # and compute but not body parsing already done above.
+            with _deadline.scope(deadline_ms), _tracing.trace(
                 f"POST {sub}",
                 trace_id=request_id,
                 tags={"method": "POST", "route": sub, "tenant": session.tenant},
@@ -730,6 +879,26 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
         except EstimationError as exc:
             error(422, f"unsupported conditioning event: {exc}")
             return
+        except DeadlineExceededError as exc:
+            error(504, f"deadline exceeded: {exc}")
+            return
+        except OverloadedError as exc:
+            retry_after = max(1, int(round(exc.retry_after_s)))
+            error(
+                429,
+                f"overloaded: {exc}",
+                headers={"Retry-After": str(retry_after)},
+            )
+            return
+        except DegradedError as exc:
+            # The store is read-only degraded (failed write/fsync); the
+            # data is safe but this replica cannot accept the request.
+            error(
+                503,
+                f"store degraded: {exc}",
+                headers={"Retry-After": "1"},
+            )
+            return
         except StoreError as exc:
             # transient persistence-layer contention (e.g. racing an
             # eviction): the request is valid, a retry will succeed
@@ -750,6 +919,12 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                     queue_ms += recorded["duration_ms"]
                 elif recorded["name"] == "compute":
                     compute_ms += recorded["duration_ms"]
+        result = response.get("result")
+        if isinstance(result, Mapping) and result.get("degraded"):
+            # Hoist the degradation label so clients that only look at
+            # the envelope still see that this 200 is an anytime answer.
+            response["degraded"] = True
+            response["degraded_reason"] = result.get("degraded_reason")
         response["table_version"] = session.table_version
         response["request_id"] = request_id
         response["elapsed_ms"] = round((time.perf_counter() - started) * 1e3, 3)
@@ -825,6 +1000,10 @@ def serve(
         if draining.is_set():
             return
         draining.set()
+        # Flip the shed gate first: handler threads answering after this
+        # point refuse new work with 503 + Retry-After while the accept
+        # loop winds down and in-flight requests complete.
+        server.draining = True
         print(f"received {signal.Signals(signum).name}; draining and closing store")
         # shutdown() blocks until serve_forever exits; a signal handler
         # runs *inside* that loop's thread, so hand it to a helper.

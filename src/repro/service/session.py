@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
 import weakref
 from dataclasses import dataclass, field
@@ -52,6 +53,7 @@ from repro.obs import metrics as _obs
 from repro.service.cache import ResultCache
 from repro.service.scheduler import MicroBatcher
 from repro.service.updates import TableDelta, apply_delta
+from repro.utils import deadline as _deadline
 from repro.utils.exceptions import DomainError
 
 
@@ -443,8 +445,10 @@ class ExplainerSession:
         (concurrent requests coalesce into batched engine passes);
         ``False`` embeds the session single-threaded and dispatches
         inline — results are identical.
-    batch_window / max_batch:
-        Coalescing knobs forwarded to :class:`MicroBatcher`.
+    batch_window / max_batch / max_queue:
+        Coalescing and load-shedding knobs forwarded to
+        :class:`MicroBatcher`; ``max_queue=None`` defers to the
+        ``REPRO_MAX_QUEUE`` environment variable.
     tenant:
         Registry name this session serves under. Scopes every cache key,
         so tenants sharing a :class:`ResultCache` — even ones serving an
@@ -460,6 +464,7 @@ class ExplainerSession:
         background: bool = False,
         batch_window: float = 0.002,
         max_batch: int = 64,
+        max_queue: int | None = None,
         tenant: str = "",
     ):
         self.lewis = lewis
@@ -486,6 +491,7 @@ class ExplainerSession:
             },
             window=batch_window,
             max_batch=max_batch,
+            max_queue=max_queue,
             start=background,
         )
         # Weakly-referenced registry collector: all three cache layers,
@@ -580,12 +586,15 @@ class ExplainerSession:
                 self._served += 1
                 return {"kind": kind, "cached": True, "result": hit}
         result = self._batcher.run(kind, request)
-        if request.cacheable:
+        degraded = isinstance(result, Mapping) and bool(result.get("degraded"))
+        if request.cacheable and not degraded:
             with self._cache_lock:
                 # An update may have raced this computation; the result
                 # then reflects the *post*-update table, and storing it
                 # under the pre-update key would poison a shared cache.
                 # Only cache when the state is unchanged end to end.
+                # Degraded (anytime-under-deadline) answers are never
+                # cached: the next caller asked for the exact one.
                 if self._state == state:
                     self.cache.put(key, result)
         self._served += 1
@@ -776,13 +785,28 @@ class ExplainerSession:
         out = []
         for r in requests:
             actionable = self._actionable_for(r.actionable)
+            mode = r.mode
+            degraded = False
+            if mode == "exact":
+                # Degradation ladder: with the request deadline nearly
+                # spent, an exact cohort solve would blow it — fall back
+                # to the certified anytime mode and *label* the answer,
+                # so a 200 is never silently weaker than what was asked.
+                remaining = _deadline.remaining_s()
+                floor_s = float(os.environ.get("REPRO_ANYTIME_MS", "250")) / 1e3
+                if remaining is not None and remaining < floor_s:
+                    mode = "anytime"
+                    degraded = True
             audit = self.lewis.recourse_audit(
                 actionable,
                 alpha=r.alpha,
                 indices=list(r.indices) if r.indices is not None else None,
                 workers=r.workers,
-                mode=r.mode,
+                mode=mode,
             )
+            if degraded:
+                audit["degraded"] = True
+                audit["degraded_reason"] = "deadline"
             recourses = audit.pop("recourses")
             audit["recourses"] = [
                 recourse_to_dict(x) if x is not None else None

@@ -43,7 +43,9 @@ import numpy as np
 
 from repro.causal.graph import CausalDiagram
 from repro.data.table import Column, Table
-from repro.utils.exceptions import StoreError
+from repro.utils.exceptions import CorruptArtifactError, StoreError
+
+import repro.faults as _faults
 
 _NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
 
@@ -51,9 +53,9 @@ _NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._
 #: a tenant with one of these names would be unreachable over HTTP.
 #: Keep in sync with ``repro.service.server.RESERVED_SEGMENTS``.
 RESERVED_TENANT_NAMES = frozenset(
-    {"health", "stats", "explain", "recourse", "audit", "scores",
-     "update", "registry", "monitors", "watch", "metrics", "traces",
-     "obs", "v1"}
+    {"health", "healthz", "readyz", "stats", "explain", "recourse",
+     "audit", "scores", "update", "registry", "monitors", "watch",
+     "metrics", "traces", "obs", "v1"}
 )
 
 
@@ -86,12 +88,30 @@ def _fsync_dir(path: Path) -> None:
 
 
 def atomic_write(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` via temp-file + fsync + atomic rename."""
+    """Write ``data`` to ``path`` via temp-file + fsync + atomic rename.
+
+    A failure anywhere before ``os.replace`` leaves at most a torn temp
+    file behind — ``path`` itself is either absent or still its previous
+    complete content, which is what makes injected crashes here safe to
+    assert against (the store never exposes a half-written artifact).
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as fh:
+        _faults.inject(
+            "store.atomic_write",
+            lambda: OSError(f"injected artifact write failure: {path}"),
+        )
+        if _faults.fires("store.atomic_write.torn"):
+            fh.write(data[: max(1, len(data) // 2)])
+            fh.flush()
+            raise OSError(f"injected torn artifact write: {path}")
         fh.write(data)
         fh.flush()
+        _faults.inject(
+            "store.atomic_write.fsync",
+            lambda: OSError(f"injected artifact fsync failure: {path}"),
+        )
         os.fsync(fh.fileno())
     os.replace(tmp, path)
     _fsync_dir(path.parent)
@@ -196,16 +216,34 @@ class ArtifactStore:
         digest = hashlib.sha256(data).hexdigest()
         path = self._object_path(digest)
         if not path.exists():
-            atomic_write(path, data)
+            try:
+                atomic_write(path, data)
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot store object {digest!r} in {self.root}: {exc}"
+                ) from exc
         return digest
 
     def get_bytes(self, digest: str) -> bytes:
-        """Read the blob at ``digest``; :class:`StoreError` when absent."""
+        """Read and *verify* the blob at ``digest``.
+
+        Content addressing makes every read self-checking: the address
+        is the SHA-256 of the content, so bit rot, torn writes that
+        somehow landed, or manual tampering surface as
+        :class:`CorruptArtifactError` instead of being loaded as state.
+        """
         path = self._object_path(digest)
         try:
-            return path.read_bytes()
+            data = path.read_bytes()
         except FileNotFoundError as exc:
             raise StoreError(f"no object {digest!r} in {self.root}") from exc
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != digest:
+            raise CorruptArtifactError(
+                f"object {digest!r} in {self.root} is corrupt: content "
+                f"hashes to {actual!r}; refusing to load damaged state"
+            )
+        return data
 
     def has(self, digest: str) -> bool:
         """True when the blob at ``digest`` is present."""
@@ -248,10 +286,16 @@ class ArtifactStore:
         snapshot_id = f"{seq:08d}"
         manifest = dict(manifest)
         manifest["snapshot_id"] = snapshot_id
-        atomic_write(
-            self._tenant_dir(name) / f"{snapshot_id}.json",
-            json.dumps(manifest, indent=2, sort_keys=True).encode(),
-        )
+        try:
+            atomic_write(
+                self._tenant_dir(name) / f"{snapshot_id}.json",
+                json.dumps(manifest, indent=2, sort_keys=True).encode(),
+            )
+        except OSError as exc:
+            raise StoreError(
+                f"cannot write manifest {snapshot_id!r} for tenant "
+                f"{name!r}: {exc}"
+            ) from exc
         return snapshot_id
 
     def manifest(self, name: str, snapshot_id: str | None = None) -> dict:

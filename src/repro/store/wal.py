@@ -35,11 +35,12 @@ import time
 from pathlib import Path
 from typing import Any, Mapping
 
+import repro.faults as _faults
 from repro.obs import metrics as _obs
 from repro.obs import tracing as _tracing
 from repro.service.session import ExplainerSession, jsonable
 from repro.service.updates import TableDelta
-from repro.utils.exceptions import StoreError
+from repro.utils.exceptions import DegradedError, StoreError
 
 _WAL_APPENDS = _obs.get_registry().counter(
     "repro_wal_appends_total", "Deltas durably appended to write-ahead logs."
@@ -113,6 +114,7 @@ class DeltaLog:
         self._lock = threading.Lock()
         self._fh = None
         self._sealed = False
+        self._degraded: str | None = None
         self._appended = 0
         records, valid_bytes, total_bytes = self._scan()
         self._last_seq = records[-1][0] if records else 0
@@ -258,6 +260,14 @@ class DeltaLog:
         the write-ahead guarantee the durable session relies on.
         ``request_id`` (the originating trace id) is stored in the
         record and covered by its digest.
+
+        An I/O failure anywhere in the write → flush → fsync sequence
+        puts the log in *read-only degraded mode*: the failed record was
+        never acknowledged, the handle may hold unflushed or torn bytes,
+        and blindly appending after it would risk interleaving damage
+        into acknowledged history.  Degraded appends raise
+        :class:`DegradedError` until :meth:`reopen` re-verifies the file
+        on disk.
         """
         with self._lock:
             if self._sealed:
@@ -265,26 +275,58 @@ class DeltaLog:
                     f"write-ahead log {self.path} is sealed (the session was "
                     "evicted); re-fetch the tenant from the registry"
                 )
+            if self._degraded is not None:
+                raise DegradedError(
+                    f"write-ahead log {self.path} is read-only degraded "
+                    f"after an I/O failure ({self._degraded}); reopen() to heal"
+                )
             seq = self._last_seq + 1
             line = _record_line(_record_core(seq, delta, request_id))
+            try:
+                if self._fh is None:
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                    created = not self.path.exists()
+                    self._fh = open(self.path, "ab")
+                    if created:
+                        # the record's durability includes the file's own
+                        # directory entry — fsync the parent once at creation
+                        from repro.store.artifacts import _fsync_dir
+
+                        _fsync_dir(self.path.parent)
+                write_started = time.perf_counter()
+                _faults.inject(
+                    "wal.append.write",
+                    lambda: OSError(f"injected WAL write failure: {self.path}"),
+                )
+                if _faults.fires("wal.append.torn"):
+                    # stage the damage a crash mid-write leaves behind:
+                    # half a record, no newline, then the failure
+                    self._fh.write(line[: max(1, len(line) // 2)])
+                    self._fh.flush()
+                    raise OSError(f"injected torn WAL write: {self.path}")
+                self._fh.write(line)
+                self._fh.flush()
+                if self._fsync:
+                    _faults.inject(
+                        "wal.append.fsync",
+                        lambda: OSError(f"injected WAL fsync failure: {self.path}"),
+                    )
+                    os.fsync(self._fh.fileno())
+            except OSError as exc:
+                self._degraded = str(exc)
+                if self._fh is not None:
+                    try:
+                        self._fh.close()
+                    except OSError:
+                        pass
+                    self._fh = None
+                raise DegradedError(
+                    f"write-ahead log append failed, entering read-only "
+                    f"degraded mode: {exc}"
+                ) from exc
+            elapsed = time.perf_counter() - write_started
             if self._records == 0:
                 self._first_seq = seq
-            if self._fh is None:
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-                created = not self.path.exists()
-                self._fh = open(self.path, "ab")
-                if created:
-                    # the record's durability includes the file's own
-                    # directory entry — fsync the parent once at creation
-                    from repro.store.artifacts import _fsync_dir
-
-                    _fsync_dir(self.path.parent)
-            write_started = time.perf_counter()
-            self._fh.write(line)
-            self._fh.flush()
-            if self._fsync:
-                os.fsync(self._fh.fileno())
-            elapsed = time.perf_counter() - write_started
             self._last_seq = seq
             self._records += 1
             self._appended += 1
@@ -315,15 +357,67 @@ class DeltaLog:
                 self._fh.close()
                 self._fh = None
             tmp = self.path.with_name(self.path.name + ".compact")
-            with open(tmp, "wb") as fh:
-                for s, delta, rid in keep:
-                    fh.write(_record_line(_record_core(s, delta, rid)))
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self.path)
+            try:
+                with open(tmp, "wb") as fh:
+                    for s, delta, rid in keep:
+                        fh.write(_record_line(_record_core(s, delta, rid)))
+                    fh.flush()
+                    _faults.inject(
+                        "wal.compact.fsync",
+                        lambda: OSError(f"injected compaction fsync failure: {tmp}"),
+                    )
+                    os.fsync(fh.fileno())
+                _faults.inject(
+                    "wal.compact.replace",
+                    lambda: OSError(f"injected compaction replace failure: {tmp}"),
+                )
+                os.replace(tmp, self.path)
+            except OSError as exc:
+                # the original log is untouched until os.replace lands, so a
+                # failed compaction is loud but harmless: replay still works
+                # from the uncompacted file; only the temp file may be torn.
+                raise StoreError(
+                    f"checkpoint compaction of {self.path} failed; the "
+                    f"uncompacted log remains authoritative: {exc}"
+                ) from exc
             self._records = len(keep)
             self._first_seq = keep[0][0] if keep else 0
             return len(keep)
+
+    # -- degraded mode -----------------------------------------------------
+
+    @property
+    def degraded(self) -> str | None:
+        """Why the log is read-only degraded, or ``None`` when healthy."""
+        return self._degraded
+
+    def reopen(self) -> None:
+        """Heal a degraded log: re-verify the file and accept appends again.
+
+        Rescans the on-disk log (refusing mid-log corruption exactly as
+        construction does), truncates any torn tail the failed append
+        left behind, and restores in-memory counters from what is
+        actually on disk.  The sequence floor never goes backwards.
+        A record whose *write completed* but whose fsync failed is
+        adopted: it is a complete terminated line, indistinguishable
+        from (and as safe as) an acknowledged one — replaying it is the
+        standard resolution of the crash-after-write-before-ack window.
+        """
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+                self._fh = None
+            records, valid_bytes, total_bytes = self._scan()
+            if valid_bytes < total_bytes:
+                with open(self.path, "ab") as fh:
+                    fh.truncate(valid_bytes)
+            self._records = len(records)
+            self._first_seq = records[0][0] if records else 0
+            self._last_seq = max(self._last_seq, records[-1][0] if records else 0)
+            self._degraded = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -365,6 +459,7 @@ class DeltaLog:
             "appended": self._appended,
             "bytes": self.path.stat().st_size if self.path.exists() else 0,
             "fsync": self._fsync,
+            "degraded": self._degraded,
         }
 
 

@@ -33,3 +33,29 @@ class NotFittedError(ReproError, RuntimeError):
 class StoreError(ReproError, RuntimeError):
     """A persistence operation failed (missing artifact, corrupt log,
     snapshot/table mismatch, unknown tenant)."""
+
+
+class CorruptArtifactError(StoreError):
+    """Stored bytes fail their integrity check (digest/crc mismatch).
+
+    Raised instead of returning the bytes: corrupt state must never be
+    loaded silently."""
+
+
+class DegradedError(StoreError):
+    """A durable component is in read-only degraded mode after an I/O
+    failure and refuses writes until healed (see ``DeltaLog.reopen``)."""
+
+
+class DeadlineExceededError(ReproError, RuntimeError):
+    """The request's deadline expired before the work completed."""
+
+
+class OverloadedError(ReproError, RuntimeError):
+    """The server shed this request because a bounded queue is full.
+
+    Maps to HTTP 429 with a ``Retry-After`` hint."""
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)

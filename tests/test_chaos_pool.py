@@ -1,0 +1,179 @@
+"""Pool-crash containment: killed/hung workers never change answers.
+
+The contract wired through :meth:`RecourseSolver._run_chunks_parallel`:
+a crashed worker (``BrokenProcessPool``), a hung worker (pool timeout),
+or a pool that cannot start gets one bounded retry on a fresh pool, and
+if that fails too the identical chunk payloads run inline — so the
+caller always gets a result, and that result is bit-identical to a
+serial solve.  ``recourse.chunk`` is evaluated only on the worker path
+(skeleton rebuild), so the inline fallback is immune by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro.faults as faults
+from repro.core.recourse import RecourseSolver
+from repro.core.scores import ScoreEstimator
+from repro.data.table import Table
+
+
+def make_estimator(seed: int = 0, n: int = 400) -> ScoreEstimator:
+    rng = np.random.default_rng(seed)
+    table = Table.from_codes(
+        {
+            "skill": rng.integers(0, 4, n),
+            "hours": rng.integers(0, 4, n),
+            "degree": rng.integers(0, 3, n),
+            "region": rng.integers(0, 2, n),
+        },
+        domains={
+            "skill": [0, 1, 2, 3],
+            "hours": [0, 1, 2, 3],
+            "degree": [0, 1, 2],
+            "region": [0, 1],
+        },
+    )
+    z = (
+        table.codes("skill") + table.codes("hours") + 2 * table.codes("degree")
+    )
+    return ScoreEstimator(table, z >= 5)
+
+
+def negative_rows(estimator: ScoreEstimator, limit: int) -> list[dict]:
+    rows = [
+        estimator.table.row_codes(i)
+        for i in range(estimator.table.n_rows)
+        if not estimator._positive[i]
+    ]
+    return rows[:limit]
+
+
+def force_chunking(monkeypatch) -> None:
+    # Small chunks force several payloads so the pool actually
+    # partitions the work; parallel_threshold=1 lets a small cohort
+    # take the pool path at all.
+    monkeypatch.setattr(
+        "repro.core.recourse.adaptive_chunk_size", lambda *a, **k: 5
+    )
+
+
+def make_solver(estimator) -> RecourseSolver:
+    solver = RecourseSolver(estimator, ["skill", "hours", "degree"])
+    solver.parallel_threshold = 1
+    return solver
+
+
+def serial_reference(estimator, rows):
+    solver = make_solver(estimator)
+    return solver.solve_batch(rows, alpha=0.6, on_infeasible="none")
+
+
+def assert_bit_identical(reference, observed):
+    assert len(reference) == len(observed)
+    for a, b in zip(reference, observed):
+        if a is None:
+            assert b is None
+            continue
+        assert a.as_dict() == b.as_dict()
+        assert a.total_cost == b.total_cost
+        assert a.estimated_sufficiency == b.estimated_sufficiency
+        assert a.estimated_probability == b.estimated_probability
+        assert a.threshold == b.threshold
+
+
+class TestWorkerCrash:
+    def test_killed_workers_fall_back_to_bit_identical_inline(
+        self, monkeypatch
+    ):
+        """os._exit in every fresh pool's workers → inline, same answers."""
+        force_chunking(monkeypatch)
+        estimator = make_estimator(seed=4)
+        rows = negative_rows(estimator, limit=80)
+        reference = serial_reference(estimator, rows)
+
+        solver = make_solver(estimator)
+        # `once` per process: fork-started workers inherit the plan with
+        # zero fires, so the first chunk in *every* worker of *every*
+        # pool attempt dies like a crashed process. The parent (which
+        # passes prebuilt skeletons, skipping the injection point) then
+        # solves inline.
+        with faults.plan({"recourse.chunk": {"action": "exit", "once": True}}):
+            out = solver.solve_batch(
+                rows, alpha=0.6, on_infeasible="none", workers=2,
+                mp_context="fork",
+            )
+        stats = solver.solution_memo_stats()
+        assert stats["pool_failures"] == 2  # first try + bounded retry
+        assert stats["pool_fallbacks"] == 1
+        assert stats["parallel_batches"] == 1
+        assert_bit_identical(reference, out)
+
+    def test_hung_workers_time_out_and_fall_back(self, monkeypatch):
+        """Workers sleeping past pool_timeout_s → TimeoutError → inline."""
+        force_chunking(monkeypatch)
+        estimator = make_estimator(seed=4)
+        rows = negative_rows(estimator, limit=80)
+        reference = serial_reference(estimator, rows)
+
+        solver = make_solver(estimator)
+        solver.pool_timeout_s = 0.25
+        with faults.plan(
+            {"recourse.chunk": {"action": "sleep", "sleep_s": 5.0}}
+        ):
+            out = solver.solve_batch(
+                rows, alpha=0.6, on_infeasible="none", workers=2,
+                mp_context="fork",
+            )
+        stats = solver.solution_memo_stats()
+        assert stats["pool_failures"] == 2
+        assert stats["pool_fallbacks"] == 1
+        assert_bit_identical(reference, out)
+
+    def test_transient_crash_recovers_on_retry(self, monkeypatch):
+        """First pool raises BrokenProcessPool; the bounded retry lands."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        force_chunking(monkeypatch)
+        import concurrent.futures as cf
+
+        real_executor = cf.ProcessPoolExecutor
+        failures = {"left": 1}
+
+        class FlakyExecutor(real_executor):
+            def map(self, fn, *iterables, **kwargs):
+                if failures["left"]:
+                    failures["left"] -= 1
+                    raise BrokenProcessPool("injected transient pool crash")
+                return super().map(fn, *iterables, **kwargs)
+
+        monkeypatch.setattr(cf, "ProcessPoolExecutor", FlakyExecutor)
+
+        estimator = make_estimator(seed=4)
+        rows = negative_rows(estimator, limit=80)
+        reference = serial_reference(estimator, rows)
+
+        solver = make_solver(estimator)
+        out = solver.solve_batch(
+            rows, alpha=0.6, on_infeasible="none", workers=2,
+            mp_context="fork",
+        )
+        stats = solver.solution_memo_stats()
+        assert stats["pool_failures"] == 1  # first attempt only
+        assert stats["pool_fallbacks"] == 0  # the retry succeeded
+        assert failures["left"] == 0
+        assert_bit_identical(reference, out)
+
+    def test_no_faults_means_no_failures(self, monkeypatch):
+        force_chunking(monkeypatch)
+        estimator = make_estimator(seed=4)
+        rows = negative_rows(estimator, limit=80)
+        solver = make_solver(estimator)
+        solver.solve_batch(
+            rows, alpha=0.6, on_infeasible="none", workers=2,
+        )
+        stats = solver.solution_memo_stats()
+        assert stats["pool_failures"] == 0
+        assert stats["pool_fallbacks"] == 0
+        assert stats["parallel_batches"] == 1

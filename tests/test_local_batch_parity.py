@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro.causal.graph import CausalDiagram
@@ -73,6 +73,11 @@ def cohort_indices(seed: int, n_rows: int, size: int) -> list[int]:
 
 
 @given(scenario)
+# Regression: this example violated the 1e-12 contract by 1.6e-11 before the
+# outcome model switched to a gathered-coefficient logit whose accumulation
+# order is batch-size independent (BLAS gemm vs dot reorder sums by ~1e-16,
+# amplified by the necessity formula's division by a small probability).
+@example((2, 71, (2, 2, 4, 3), 0, 7))
 @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 def test_local_score_arrays_equal_scalar_local_scores(params):
     seed, n_rows, cards, diagram_index, size = params
