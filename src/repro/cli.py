@@ -13,6 +13,8 @@ The subcommands mirror the library's main entry points:
 * ``restore``  — rebuild a tenant from snapshot + write-ahead log and
   verify its tensors against a fresh recount,
 * ``registry`` — ``ls`` / ``add`` / ``rm`` tenants of a store,
+* ``replicate`` — ``status`` / ``promote`` / ``retarget`` a replicated
+  serving tier (``serve --follow URL`` starts a read-only follower),
 * ``monitor``  — ``add`` / ``ls`` / ``rm`` / ``watch`` standing drift
   monitors on a *running* service over HTTP (long-poll alert stream).
 
@@ -214,10 +216,11 @@ def cmd_serve(args) -> int:
             background=True,
         )
         names = registry.names()
-        if not names:
+        if not names and not args.follow:
             print(
                 f"store {args.store!r} has no tenants; create one with "
-                "`repro snapshot --store DIR --name NAME`",
+                "`repro snapshot --store DIR --name NAME` (or start a "
+                "follower with --follow URL to bootstrap from a leader)",
                 file=sys.stderr,
             )
             return 1
@@ -231,9 +234,23 @@ def cmd_serve(args) -> int:
             except StoreError as exc:
                 print(f"cannot preload {name!r}: {exc}", file=sys.stderr)
                 return 1
-        print(f"serving tenants: {', '.join(names)}")
-        serve(host=args.host, port=args.port, verbose=args.verbose, registry=registry)
+        if args.follow:
+            print(f"following leader at {args.follow}")
+        if names:
+            print(f"serving tenants: {', '.join(names)}")
+        serve(
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            registry=registry,
+            follow=args.follow,
+            auto_promote=args.auto_promote,
+        )
         return 0
+    if args.follow:
+        print("--follow requires --store (a follower replicates into a store)",
+              file=sys.stderr)
+        return 1
     bundle, _model, lewis = _build_explainer(args)
     session = ExplainerSession(
         lewis,
@@ -412,8 +429,10 @@ def cmd_monitor(args) -> int:
     if args.monitor_command == "watch":
         from urllib import error as _urlerror
 
+        from repro.utils.backoff import Backoff
+
         cursor = args.cursor
-        backoff = 0.5
+        backoff = Backoff(initial=0.5, factor=2.0, max_delay=10.0, jitter=0.1)
         while True:
             try:
                 result = _http_json_raw(
@@ -436,16 +455,16 @@ def cmd_monitor(args) -> int:
                         f"cannot reach {base}/watch: "
                         f"{getattr(exc, 'reason', exc)}"
                     ) from exc
+                delay = backoff.next_delay()
                 print(
                     f"(watch interrupted: "
                     f"{f'HTTP {status}' if status else getattr(exc, 'reason', exc)}; "
-                    f"reconnecting in {backoff:.1f}s)",
+                    f"reconnecting in {delay:.1f}s)",
                     file=sys.stderr,
                 )
-                time.sleep(backoff)
-                backoff = min(backoff * 2, 10.0)
+                time.sleep(delay)
                 continue
-            backoff = 0.5  # healthy response: reset the reconnect ladder
+            backoff.reset()  # healthy response: reset the reconnect ladder
             for alert in result["alerts"]:
                 print(render_alert(alert))
             if result.get("cursor_truncated"):
@@ -525,6 +544,51 @@ def cmd_registry(args) -> int:
         print(f"removed tenant {args.name!r} ({dropped} blobs reclaimed)")
         return 0
     raise SystemExit(f"unknown registry command {args.registry_command!r}")
+
+
+def cmd_replicate(args) -> int:
+    base = args.url.rstrip("/")
+    if not base.endswith("/v1"):
+        base += "/v1"
+    if args.replicate_command == "status":
+        status = _http_json(f"{base}/replication")
+        epoch = status.get("epoch", {})
+        print(
+            f"role={status['role']} epoch={epoch.get('current', 0)} "
+            f"fencing_floor={epoch.get('max_seen', 0)} "
+            f"leader={status.get('leader_url') or '-'}"
+        )
+        for tenant, lag in sorted((status.get("lag_records") or {}).items()):
+            tailer = (status.get("tailers") or {}).get(tenant, {})
+            state = "alive" if tailer.get("alive") else "stopped"
+            suffix = f" last_error={tailer['last_error']}" if tailer.get(
+                "last_error"
+            ) else ""
+            print(f"  {tenant:24s} lag={lag} tailer={state}{suffix}")
+        return 0
+    if args.replicate_command == "promote":
+        payload: dict = {"reason": args.reason or "operator promotion"}
+        if args.catchup_store:
+            payload["catchup_store"] = args.catchup_store
+        result = _http_json(f"{base}/replication/promote", "POST", payload)
+        if result.get("already_leader"):
+            print(f"already leader at epoch {result['epoch']}")
+            return 0
+        caught_up = result.get("caught_up") or {}
+        replayed = sum(caught_up.values())
+        print(
+            f"promoted to leader at epoch {result['epoch']}"
+            + (f" ({replayed} records caught up from the old leader's log)"
+               if args.catchup_store else "")
+        )
+        return 0
+    if args.replicate_command == "retarget":
+        result = _http_json(
+            f"{base}/replication/retarget", "POST", {"leader_url": args.leader}
+        )
+        print(f"now following {result['leader_url']}")
+        return 0
+    raise SystemExit(f"unknown replicate command {args.replicate_command!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -654,6 +718,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="byte budget for resident tenant sessions (default: 256)",
     )
     p_serve.add_argument(
+        "--follow",
+        default=None,
+        metavar="URL",
+        help="run as a read-only follower replicating from this leader",
+    )
+    p_serve.add_argument(
+        "--auto-promote",
+        action="store_true",
+        help="follower promotes itself after repeated leader health failures",
+    )
+    p_serve.add_argument(
         "--verbose", action="store_true", help="log each HTTP request to stderr"
     )
     p_serve.set_defaults(func=cmd_serve)
@@ -710,6 +785,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_rm.add_argument("--store", required=True, metavar="DIR")
     p_rm.add_argument("--name", required=True)
     p_registry.set_defaults(func=cmd_registry)
+
+    p_replicate = sub.add_parser(
+        "replicate", help="inspect and fail over a replicated serving tier"
+    )
+    rep_sub = p_replicate.add_subparsers(dest="replicate_command", required=True)
+
+    def replicate_common(p):
+        p.add_argument(
+            "--url", default="http://127.0.0.1:8321",
+            help="replica base URL (default: %(default)s)",
+        )
+
+    p_rep_status = rep_sub.add_parser(
+        "status", help="role, epoch, per-tenant lag and tailer state"
+    )
+    replicate_common(p_rep_status)
+    p_rep_promote = rep_sub.add_parser(
+        "promote", help="promote this follower to leader (epoch-fenced)"
+    )
+    replicate_common(p_rep_promote)
+    p_rep_promote.add_argument(
+        "--catchup-store",
+        default=None,
+        metavar="DIR",
+        help="dead leader's store root; replay its durable WAL tail first",
+    )
+    p_rep_promote.add_argument(
+        "--reason", default=None, help="recorded in the epoch history"
+    )
+    p_rep_retarget = rep_sub.add_parser(
+        "retarget", help="point this follower at a new leader"
+    )
+    replicate_common(p_rep_retarget)
+    p_rep_retarget.add_argument(
+        "--leader", required=True, metavar="URL", help="new leader base URL"
+    )
+    p_replicate.set_defaults(func=cmd_replicate)
 
     p_monitor = sub.add_parser(
         "monitor", help="manage standing drift monitors on a running service"

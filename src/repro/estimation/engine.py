@@ -64,6 +64,7 @@ shape), rejecting archives that do not describe the bound data.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import time
 from typing import Any, BinaryIO, Mapping, Sequence
@@ -176,6 +177,27 @@ class ContingencyEngine:
     def cache_stats(self) -> "_obs.CacheStats":
         """Tensor-cache counters as the unified :class:`CacheStats` schema."""
         return self._tensors.stats_struct("tensor")
+
+    def state_digest(self) -> str:
+        """Canonical content digest of the engine's counted state.
+
+        Hashes the row total, the data-version counter, the smoothing
+        mass, and every column's *marginal count tensor* bytes — a
+        deterministic function of the bound table's content, independent
+        of which joint tensors happen to sit in the LRU cache (replicas
+        serve different request mixes, so cache *contents* are not
+        comparable; the counts they derive from are).  Two replicas that
+        replayed the same history agree on this digest bit for bit; the
+        replication consistency checker uses it as the convergence
+        fingerprint.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self._n}:{self._version}:{self._alpha}".encode("utf-8"))
+        for name in sorted(self._table.names):
+            marginal = self.tensor((name,))
+            h.update(name.encode("utf-8"))
+            h.update(np.ascontiguousarray(marginal).tobytes())
+        return h.hexdigest()[:32]
 
     def _card(self, name: str) -> int:
         card = self._cards.get(name)

@@ -628,6 +628,7 @@ def preregister() -> None:
     import repro.core.recourse  # noqa: F401
     import repro.faults  # noqa: F401
     import repro.monitor.monitors  # noqa: F401
+    import repro.replication.manager  # noqa: F401
     import repro.service.scheduler  # noqa: F401
     import repro.store.registry  # noqa: F401
     import repro.store.wal  # noqa: F401

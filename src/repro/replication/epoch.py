@@ -1,0 +1,126 @@
+"""Durable monotonic leader epochs: the fencing token of failover.
+
+Every store carries one epoch document at
+``<root>/replication/epoch.json`` holding two counters:
+
+* ``epoch`` — the epoch this node last *led* (0 when it never led),
+* ``max_seen`` — the highest epoch this node has ever observed in a
+  shipped batch (its fencing floor).
+
+Promotion advances to ``max(epoch, max_seen) + 1`` and persists before
+the node starts acting as leader, so epochs are strictly monotone across
+any sequence of failovers that shares batch traffic.  A deposed leader
+restarting with its stale epoch is *fenced*: followers that saw the new
+leader's higher epoch refuse its batches, so its unreplicated tail can
+never be applied after the cluster moved on (it is replayed explicitly
+during promotion catch-up instead — see
+:meth:`ReplicationManager.promote`).
+
+Both counters go through :func:`~repro.store.artifacts.atomic_write`
+(temp file + fsync + rename), so a crash mid-promotion leaves the old
+document intact: the node simply never became leader.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import repro.faults as _faults
+from repro.store.artifacts import atomic_write
+from repro.utils.exceptions import StoreError
+
+
+class EpochStore:
+    """Persisted ``(epoch, max_seen)`` pair for one store root."""
+
+    def __init__(self, root: str | Path):
+        self.path = Path(root) / "replication" / "epoch.json"
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._max_seen = 0
+        self._history: list[dict] = []
+        if self.path.exists():
+            try:
+                doc = json.loads(self.path.read_text())
+            except (OSError, ValueError) as exc:
+                raise StoreError(
+                    f"corrupt epoch document at {self.path}: {exc}"
+                ) from exc
+            self._epoch = int(doc.get("epoch", 0))
+            self._max_seen = int(doc.get("max_seen", 0))
+            self._history = list(doc.get("history", []))
+
+    # -- views -------------------------------------------------------------
+
+    def current(self) -> int:
+        """The epoch this node last led (0: never led)."""
+        with self._lock:
+            return self._epoch
+
+    def max_seen(self) -> int:
+        """Highest epoch ever observed — the fencing floor."""
+        with self._lock:
+            return max(self._epoch, self._max_seen)
+
+    def history(self) -> list[dict]:
+        """Recorded promotions, oldest first."""
+        with self._lock:
+            return list(self._history)
+
+    # -- transitions -------------------------------------------------------
+
+    def _persist_locked(self) -> None:
+        payload = {
+            "epoch": self._epoch,
+            "max_seen": self._max_seen,
+            "history": self._history[-32:],
+        }
+        try:
+            atomic_write(
+                self.path,
+                json.dumps(payload, indent=2, sort_keys=True).encode("utf-8"),
+            )
+        except OSError as exc:
+            raise StoreError(
+                f"cannot persist epoch document {self.path}: {exc}"
+            ) from exc
+
+    def note_seen(self, epoch: int) -> bool:
+        """Record an observed batch epoch; False when it is fenced.
+
+        An epoch below the floor is *stale* — the batch comes from a
+        deposed leader and must be refused.  An epoch above the floor
+        raises the floor durably before returning, so fencing decisions
+        survive a follower restart.
+        """
+        epoch = int(epoch)
+        with self._lock:
+            floor = max(self._epoch, self._max_seen)
+            if epoch < floor:
+                return False
+            if epoch > self._max_seen:
+                self._max_seen = epoch
+                self._persist_locked()
+            return True
+
+    def advance(self, reason: str = "") -> int:
+        """Claim the next epoch (promotion); persisted before returning.
+
+        The ``repl.promote`` fault point fires *before* anything is
+        written, modelling a crash at the moment of promotion: the store
+        keeps its old epoch and the node never becomes leader.
+        """
+        with self._lock:
+            _faults.inject(
+                "repl.promote",
+                lambda: StoreError(
+                    "injected promotion failure before the epoch advanced"
+                ),
+            )
+            self._epoch = max(self._epoch, self._max_seen) + 1
+            self._max_seen = self._epoch
+            self._history.append({"epoch": self._epoch, "reason": str(reason)})
+            self._persist_locked()
+            return self._epoch

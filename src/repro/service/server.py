@@ -60,6 +60,20 @@ Endpoints (all responses are JSON unless noted)::
     POST   /v1/registry/<tenant>/evict      unload from memory (state stays on disk)
     DELETE /v1/registry/<tenant>       remove tenant (snapshots + log)
 
+    GET    /v1/<tenant>/log?cursor=N&max=K  WAL shipping batch after seq N
+                               (epoch-stamped; cursor_valid=false means
+                               "resync from snapshot")
+    GET    /v1/registry/<tenant>/manifest   latest manifest, verbatim
+    GET    /v1/registry/<tenant>/object/<digest>  blob bytes (octet-stream)
+    GET    /v1/replication     role, epoch, per-tenant lag, tailer state
+    POST   /v1/replication/promote   {"catchup_store"?, "reason"?} become leader
+    POST   /v1/replication/retarget  {"leader_url"} follow a new leader
+
+Followers (``serve --follow URL``) answer every read; writes return 503
+with the leader's URL.  Reads pinned with ``X-Repro-Min-State: <token>``
+are refused with 503 until the replica has applied the state the client
+last saw (read-your-writes across the fleet).
+
 Client errors (unknown attribute/label, malformed body) return 400 with
 ``{"error": ...}``; unknown tenants/endpoints 404; unsupported
 conditioning events 422; infeasible recourse 409.  Start a server with
@@ -162,6 +176,8 @@ RESERVED_SEGMENTS = {
     "metrics",
     "traces",
     "obs",
+    "log",
+    "replication",
     "v1",
 }
 
@@ -317,6 +333,10 @@ class ExplainerHTTPServer(ThreadingHTTPServer):
     session: ExplainerSession | None = None
     registry = None
     monitors = None
+    #: :class:`~repro.replication.manager.ReplicationManager` when the
+    #: server has a registry (leaders lend their epoch to shipped
+    #: batches; followers tail, block writes, and can promote).
+    replication = None
     #: set by :func:`serve` on SIGTERM/SIGINT: new work is refused with
     #: 503 + Retry-After while in-flight requests finish (liveness and
     #: metrics endpoints stay reachable for the supervisor).
@@ -391,6 +411,15 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
         self._observe_http(status)
 
+    def _send_bytes(self, status: int, data: bytes) -> None:
+        """Binary response (replication blob transfer)."""
+        self.send_response(status)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+        self._observe_http(status)
+
     def _read_body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
         if length > MAX_BODY_BYTES:
@@ -405,7 +434,9 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
 
     # -- failure containment -----------------------------------------------
 
-    def _shed_if_draining(self, parts: list[str]) -> bool:
+    def _shed_if_draining(
+        self, parts: list[str], request_id: str | None = None
+    ) -> bool:
         """Refuse new work with 503 + Retry-After while draining.
 
         Liveness (``/healthz``), readiness (``/readyz``) and ``/metrics``
@@ -416,11 +447,12 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
             return False
         if parts and parts[0] in ("healthz", "readyz", "metrics"):
             return False
-        self._send_json(
-            503,
-            {"error": "server is draining; retry against a healthy replica"},
-            headers={"Retry-After": "1"},
-        )
+        body = {"error": "server is draining; retry against a healthy replica"}
+        if request_id is not None:
+            # shed responses carry the request id too, so a client
+            # correlating retries across replicas never loses the trail
+            body["request_id"] = request_id
+        self._send_json(503, body, headers={"Retry-After": "1"})
         return True
 
     def _deadline_ms(self) -> float | None:
@@ -478,6 +510,14 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                 "pool_failures": int(solver.get("pool_failures", 0)),
                 "pool_fallbacks": int(solver.get("pool_fallbacks", 0)),
             }
+            log = getattr(session, "log", None)
+            if log is not None:
+                degraded = log.degraded
+                checks["wal"] = {
+                    "ok": degraded is None,
+                    "degraded": degraded,
+                    "last_seq": log.last_seq,
+                }
         registry = self.registry
         if registry is not None:
             root = registry.store.root
@@ -651,6 +691,54 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
             raise NotFound(str(exc)) from exc
         raise NotFound(self.path)
 
+    # -- replication endpoints ----------------------------------------------
+
+    def _refuse_follower_write(self, sub: str, request_id: str) -> bool:
+        """Followers answer reads only; writes bounce to the leader (503).
+
+        Returns True when the request was answered here.  The body names
+        the leader so a client library can retarget without re-resolving
+        topology out of band.
+        """
+        manager = getattr(self.server, "replication", None)
+        if manager is None or manager.is_leader:
+            return False
+        self._send_json(
+            503,
+            {
+                "error": (
+                    f"this replica is a follower; {sub} is a write and "
+                    "must go to the leader"
+                ),
+                "leader_url": manager.leader_url,
+                "request_id": request_id,
+            },
+            headers={"Retry-After": "1"},
+        )
+        return True
+
+    def _replication_post(
+        self, parts: list[str], payload: Any, request_id: str
+    ) -> dict:
+        manager = getattr(self.server, "replication", None)
+        if manager is None:
+            raise NotFound("this server has no replication manager")
+        if parts == ["replication", "promote"]:
+            if not isinstance(payload, Mapping):
+                raise BadRequest("request body must be a JSON object")
+            result = manager.promote(
+                catchup_store=payload.get("catchup_store"),
+                reason=str(payload.get("reason") or "explicit promotion"),
+            )
+            result["request_id"] = request_id
+            return result
+        if parts == ["replication", "retarget"]:
+            if not isinstance(payload, Mapping) or not payload.get("leader_url"):
+                raise BadRequest('"leader_url" is required')
+            manager.retarget(str(payload["leader_url"]))
+            return {"leader_url": manager.leader_url, "request_id": request_id}
+        raise NotFound(self.path)
+
     # -- routes ------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -658,7 +746,7 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
         request_id = _tracing.new_id()
         try:
             parts = self._segments()
-            if self._shed_if_draining(parts):
+            if self._shed_if_draining(parts, request_id):
                 return
             if parts == ["healthz"]:
                 # Pure liveness: answers 200 as long as the process can
@@ -674,6 +762,8 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                 return
             if parts == ["readyz"]:
                 ready, report = self._health_report()
+                if not ready:
+                    report["request_id"] = request_id
                 self._send_json(
                     200 if ready else 503,
                     report,
@@ -692,7 +782,32 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
             if parts == ["traces"]:
                 self._send_json(200, self._traces_get())
                 return
+            if parts == ["replication"]:
+                manager = getattr(self.server, "replication", None)
+                if manager is None:
+                    raise NotFound("this server has no replication manager")
+                self._send_json(200, manager.status())
+                return
             if parts and parts[0] == "registry":
+                # replication transfer surface: raw manifest + blob bytes
+                if len(parts) == 3 and parts[2] == "manifest":
+                    if self.registry is None:
+                        raise NotFound("this server has no registry")
+                    try:
+                        manifest = self.registry.store.manifest(parts[1])
+                    except StoreError as exc:
+                        raise NotFound(str(exc)) from exc
+                    self._send_json(200, manifest)
+                    return
+                if len(parts) == 4 and parts[2] == "object":
+                    if self.registry is None:
+                        raise NotFound("this server has no registry")
+                    try:
+                        data = self.registry.store.get_bytes(parts[3])
+                    except StoreError as exc:
+                        raise NotFound(str(exc)) from exc
+                    self._send_bytes(200, data)
+                    return
                 self._send_json(200, self._registry_get(parts))
                 return
             # A registry-only server still needs process-level liveness:
@@ -720,16 +835,44 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                 return
             session, sub = self._resolve()
             if sub == "/v1/health":
-                self._send_json(
-                    200,
-                    {
-                        "status": "ok",
-                        "tenant": session.tenant,
-                        "fingerprint": session.fingerprint,
-                        "table_version": session.table_version,
-                        "n_rows": len(session.lewis.data),
-                    },
-                )
+                report = {
+                    "status": "ok",
+                    "tenant": session.tenant,
+                    "fingerprint": session.fingerprint,
+                    "table_version": session.table_version,
+                    "state_token": session.state_token,
+                    "n_rows": len(session.lewis.data),
+                }
+                log = getattr(session, "log", None)
+                if log is not None:
+                    report["last_seq"] = log.last_seq
+                if self._query().get("digest") in ("1", "true", "yes"):
+                    # canonical engine fingerprint (per-column marginal
+                    # count tensors): the convergence oracle replicas
+                    # compare after failover
+                    report["state_digest"] = (
+                        session.lewis.estimator.engine.state_digest()
+                    )
+                self._send_json(200, report)
+            elif sub == "/v1/log":
+                from repro.replication.ship import build_batch
+
+                query = self._query()
+                try:
+                    cursor = int(query.get("cursor", 0))
+                    limit = int(query.get("max", 0)) or None
+                except ValueError as exc:
+                    raise BadRequest(f"cursor/max must be integers: {exc}") from exc
+                manager = getattr(self.server, "replication", None)
+                kwargs = {"epoch": manager.shipping_epoch()} if manager else {}
+                if limit is not None:
+                    kwargs["limit"] = limit
+                try:
+                    self._send_json(
+                        200, build_batch(session, cursor, tenant=session.tenant, **kwargs)
+                    )
+                except StoreError as exc:
+                    raise NotFound(str(exc)) from exc
             elif sub == "/v1/stats":
                 stats = session.stats()
                 scheduler = self.server.monitors  # type: ignore[attr-defined]
@@ -764,13 +907,16 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
         self._request_started = time.perf_counter()
+        request_id = _tracing.new_id()
         try:
             self._read_body()  # drain so keep-alive stays in sync
             parts = self._segments()
-            if self._shed_if_draining(parts):
+            if self._shed_if_draining(parts, request_id):
                 return
             registry = self.registry
             if registry is not None and len(parts) == 2 and parts[0] == "registry":
+                if self._refuse_follower_write(self.path, request_id):
+                    return
                 scheduler = self.server.monitors  # type: ignore[attr-defined]
                 if scheduler is not None:
                     # release the journal handle before the store unlinks it
@@ -780,19 +926,25 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                 return
             session, sub = self._resolve()
             if sub.startswith("/v1/monitors/"):
+                if self._refuse_follower_write(sub, request_id):
+                    return
                 monitors = self._monitor_scheduler().ensure(session)
                 self._send_json(200, monitors.remove(sub.rsplit("/", 1)[1]))
                 return
             raise NotFound(f"unknown endpoint {self.path!r}")
         except NotFound as exc:
-            self._send_json(404, {"error": str(exc)})
+            self._send_json(404, {"error": str(exc), "request_id": request_id})
         except (BadRequest, ValueError) as exc:
-            self._send_json(400, {"error": str(exc)})
+            self._send_json(400, {"error": str(exc), "request_id": request_id})
         except StoreError as exc:
-            self._send_json(404, {"error": str(exc)})
+            self._send_json(404, {"error": str(exc), "request_id": request_id})
         except Exception as exc:  # noqa: BLE001 - internal defects -> 500
             self._send_json(
-                500, {"error": f"internal error: {type(exc).__name__}: {exc}"}
+                500,
+                {
+                    "error": f"internal error: {type(exc).__name__}: {exc}",
+                    "request_id": request_id,
+                },
             )
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
@@ -816,7 +968,13 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
 
         try:
             parts = self._segments()
-            if self._shed_if_draining(parts):
+            if self._shed_if_draining(parts, request_id):
+                return
+            if parts and parts[0] == "replication":
+                payload = self._read_body()
+                self._send_json(
+                    200, self._replication_post(parts, payload, request_id)
+                )
                 return
             if parts and parts[0] == "registry":
                 self._read_body()  # drain the body so keep-alive stays in sync
@@ -824,6 +982,32 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
                 return
             session, sub = self._resolve()
             payload = self._read_body()
+            if sub in ("/v1/update", "/v1/monitors") and self._refuse_follower_write(
+                sub, request_id
+            ):
+                return
+            min_state = self.headers.get("X-Repro-Min-State")
+            if min_state and hasattr(session, "has_state"):
+                if not session.has_state(min_state):
+                    # read-your-writes: this replica has not yet applied
+                    # the state the client saw; let it retry here or pin
+                    # to a replica that has caught up
+                    self._send_json(
+                        503,
+                        {
+                            "error": (
+                                f"replica has not reached state {min_state!r} "
+                                "yet; retry after replication catches up"
+                            ),
+                            "request_id": request_id,
+                            "state_token": session.state_token,
+                        },
+                        headers={
+                            "Retry-After": "1",
+                            "X-Repro-State": session.state_token,
+                        },
+                    )
+                    return
             deadline_ms = self._deadline_ms()
 
             def dispatch(target):
@@ -926,6 +1110,7 @@ class ExplainerRequestHandler(BaseHTTPRequestHandler):
             response["degraded"] = True
             response["degraded_reason"] = result.get("degraded_reason")
         response["table_version"] = session.table_version
+        response["state_token"] = session.state_token
         response["request_id"] = request_id
         response["elapsed_ms"] = round((time.perf_counter() - started) * 1e3, 3)
         response["queue_ms"] = round(queue_ms, 3)
@@ -939,6 +1124,8 @@ def create_server(
     port: int = 8321,
     verbose: bool = False,
     registry=None,
+    follow: str | None = None,
+    auto_promote: bool = False,
 ) -> ExplainerHTTPServer:
     """Bind a threading HTTP server to a session and/or a registry.
 
@@ -946,9 +1133,17 @@ def create_server(
     ``serve_forever()`` to block, ``shutdown()`` + ``server_close()`` to
     stop (``server_close`` drains in-flight handler threads), then close
     the session/registry.
+
+    ``follow`` makes this a read-only *follower* of the leader at that
+    base URL: it bootstraps every tenant from the leader's snapshots,
+    tails each write-ahead log over ``GET /v1/<tenant>/log``, and bounces
+    writes with a leader hint.  ``auto_promote`` lets a follower promote
+    itself after consecutive leader health-check failures.
     """
     if session is None and registry is None:
         raise ValueError("create_server needs a session, a registry, or both")
+    if follow is not None and registry is None:
+        raise ValueError("a follower needs a registry (store) to replicate into")
     # Import every instrumented subsystem so /metrics advertises the full
     # family set (TYPE/HELP headers) from the very first scrape, before
     # any labelled series exists.
@@ -970,6 +1165,16 @@ def create_server(
     server.monitors = MonitorScheduler(
         store=registry.store if registry is not None else None
     )
+    if registry is not None:
+        from repro.replication.manager import ReplicationManager
+
+        server.replication = ReplicationManager(
+            registry,
+            role="follower" if follow else "leader",
+            leader_url=follow,
+            auto_promote=auto_promote,
+        )
+        server.replication.start()
     return server
 
 
@@ -980,6 +1185,8 @@ def serve(
     verbose: bool = False,
     registry=None,
     checkpoint_on_close: bool = True,
+    follow: str | None = None,
+    auto_promote: bool = False,
 ) -> None:
     """Serve until interrupted, then shut down gracefully (CLI entry point).
 
@@ -989,7 +1196,13 @@ def serve(
     ``checkpoint_on_close`` is set, so the next boot is warm.
     """
     server = create_server(
-        session, host=host, port=port, verbose=verbose, registry=registry
+        session,
+        host=host,
+        port=port,
+        verbose=verbose,
+        registry=registry,
+        follow=follow,
+        auto_promote=auto_promote,
     )
     bound = server.server_address
     print(f"explanation service listening on http://{bound[0]}:{bound[1]}")
@@ -1022,6 +1235,8 @@ def serve(
         for sig, old in previous.items():
             signal.signal(sig, old)
         server.server_close()  # joins in-flight handler threads
+        if server.replication is not None:
+            server.replication.stop()
         if server.monitors is not None:
             server.monitors.close()
         if session is not None:

@@ -39,6 +39,7 @@ import json
 import os
 import threading
 import weakref
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -475,6 +476,12 @@ class ExplainerSession:
         )
         self.fingerprint = model_fingerprint(lewis._model, lewis.data)
         self._state = data_state_token(lewis.data)
+        # Recent tokens of the state chain (newest last). Replicas use
+        # membership as the read-your-writes check: a client pinning
+        # X-Repro-Min-State to a token it observed is served only once
+        # this session's chain has passed through that token.
+        self._state_history: deque[str] = deque(maxlen=256)
+        self._state_history.append(self._state)
         self._cache_lock = threading.Lock()
         self._served = 0
         self._batcher = MicroBatcher(
@@ -557,6 +564,20 @@ class ExplainerSession:
             self._state = hashlib.sha1(
                 (self._state + payload).encode("utf-8", "replace")
             ).hexdigest()[:16]
+            self._state_history.append(self._state)
+
+    def has_state(self, token: str) -> bool:
+        """Whether the state chain has passed through ``token``.
+
+        The read-your-writes gate for replicated reads: a follower that
+        has not yet replayed the write producing ``token`` answers 503
+        (retryable) instead of serving data older than what the client
+        already saw.  Bounded by the history ring — a token older than
+        its window conservatively reads as unseen, which only ever
+        delays a request, never serves stale state.
+        """
+        with self._cache_lock:
+            return token in self._state_history
 
     def handle(self, request) -> dict:
         """Answer one request object; returns a JSON-ready response dict.

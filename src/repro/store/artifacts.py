@@ -55,7 +55,7 @@ _NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._
 RESERVED_TENANT_NAMES = frozenset(
     {"health", "healthz", "readyz", "stats", "explain", "recourse",
      "audit", "scores", "update", "registry", "monitors", "watch",
-     "metrics", "traces", "obs", "v1"}
+     "metrics", "traces", "obs", "log", "replication", "v1"}
 )
 
 

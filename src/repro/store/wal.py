@@ -116,8 +116,9 @@ class DeltaLog:
         self._sealed = False
         self._degraded: str | None = None
         self._appended = 0
-        records, valid_bytes, total_bytes = self._scan()
-        self._last_seq = records[-1][0] if records else 0
+        records, valid_bytes, total_bytes, floor = self._scan()
+        self._floor = floor
+        self._last_seq = records[-1][0] if records else floor
         self._first_seq = records[0][0] if records else 0
         self._records = len(records)
         if valid_bytes < total_bytes:
@@ -128,18 +129,25 @@ class DeltaLog:
 
     # -- reading -----------------------------------------------------------
 
-    def _scan(self) -> tuple[list[tuple[int, TableDelta, str | None]], int, int]:
-        """Parse the log; returns (records, valid byte length, total bytes).
+    def _scan(
+        self,
+    ) -> tuple[list[tuple[int, TableDelta, str | None]], int, int, int]:
+        """Parse the log; returns (records, valid bytes, total bytes, floor).
 
         Records are ``(seq, delta, request_id)`` triples; ``request_id``
         is ``None`` for records written before the field existed.
+        ``floor`` is the highest compacted-through sequence recorded by a
+        floor marker line (0 for never-compacted logs): a fresh open of a
+        fully compacted log must not report cursor 0 as valid just
+        because the file happens to hold no records.
         """
         if not self.path.exists():
-            return [], 0, 0
+            return [], 0, 0, 0
         raw = self.path.read_bytes()
         records: list[tuple[int, TableDelta, str | None]] = []
         offset = 0
         last_seq = 0
+        floor = 0
         # Only newline-terminated lines are records. append() fsyncs the
         # record *and* its newline in one write before acknowledging, so
         # an unterminated final chunk — even one that happens to parse as
@@ -155,6 +163,19 @@ class DeltaLog:
                 continue
             try:
                 record = json.loads(stripped)
+                if "floor" in record and "seq" not in record:
+                    # compaction floor marker, written by truncate_through
+                    if record.get("crc") != _record_digest(
+                        {"floor": record["floor"]}
+                    ):
+                        raise StoreError(
+                            f"corrupt WAL floor marker at byte {offset} of "
+                            f"{self.path}; refusing an unreliable history"
+                        )
+                    floor = max(floor, int(record["floor"]))
+                    last_seq = max(last_seq, floor)
+                    offset += chunk
+                    continue
                 core = {
                     "seq": record["seq"],
                     "insert": record["insert"],
@@ -191,12 +212,12 @@ class DeltaLog:
         # `offset` == bytes through the last terminated line; a non-empty
         # `tail` beyond it is the torn write the caller truncates.
         assert offset + len(tail) == len(raw)
-        return records, offset, len(raw)
+        return records, offset, len(raw), floor
 
     def replay(self, after: int = 0) -> list[tuple[int, TableDelta]]:
         """Records with sequence number greater than ``after``, in order."""
         with self._lock:
-            records, _valid, _total = self._scan()
+            records, _valid, _total, _floor = self._scan()
         return [(seq, delta) for seq, delta, _rid in records if seq > after]
 
     def replay_annotated(
@@ -204,7 +225,7 @@ class DeltaLog:
     ) -> list[tuple[int, TableDelta, str | None]]:
         """Like :meth:`replay` but including each record's request id."""
         with self._lock:
-            records, _valid, _total = self._scan()
+            records, _valid, _total, _floor = self._scan()
         return [
             (seq, delta, rid) for seq, delta, rid in records if seq > after
         ]
@@ -347,18 +368,33 @@ class DeltaLog:
         dropped prefix is redundant with the snapshot. The tail is
         rewritten atomically (temp file + rename); sequence numbers keep
         counting from where they were. Returns how many records remain.
+
+        The rewritten file starts with a *floor marker* line recording
+        the compacted-through sequence, so a fresh open of the file —
+        even a fully compacted (record-free) one — still knows cursor 0
+        points into dropped history and reports it as a gap instead of
+        silently replaying an empty tail.
         """
         with self._lock:
-            records, _valid, _total = self._scan()
+            records, _valid, _total, disk_floor = self._scan()
             keep = [(s, d, r) for s, d, r in records if s > seq]
             if len(keep) == len(records):
                 return len(keep)
+            floor = max(self._floor, disk_floor, int(seq))
             if self._fh is not None:
                 self._fh.close()
                 self._fh = None
             tmp = self.path.with_name(self.path.name + ".compact")
             try:
                 with open(tmp, "wb") as fh:
+                    marker = {"floor": floor}
+                    marker["crc"] = _record_digest(marker)
+                    fh.write(
+                        json.dumps(
+                            marker, sort_keys=True, separators=(",", ":")
+                        ).encode("utf-8")
+                        + b"\n"
+                    )
                     for s, delta, rid in keep:
                         fh.write(_record_line(_record_core(s, delta, rid)))
                     fh.flush()
@@ -382,6 +418,8 @@ class DeltaLog:
                 ) from exc
             self._records = len(keep)
             self._first_seq = keep[0][0] if keep else 0
+            self._floor = floor
+            self._last_seq = max(self._last_seq, floor)
             return len(keep)
 
     # -- degraded mode -----------------------------------------------------
@@ -410,13 +448,16 @@ class DeltaLog:
                 except OSError:
                     pass
                 self._fh = None
-            records, valid_bytes, total_bytes = self._scan()
+            records, valid_bytes, total_bytes, floor = self._scan()
             if valid_bytes < total_bytes:
                 with open(self.path, "ab") as fh:
                     fh.truncate(valid_bytes)
             self._records = len(records)
             self._first_seq = records[0][0] if records else 0
-            self._last_seq = max(self._last_seq, records[-1][0] if records else 0)
+            self._floor = max(self._floor, floor)
+            self._last_seq = max(
+                self._last_seq, floor, records[-1][0] if records else 0
+            )
             self._degraded = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -455,6 +496,7 @@ class DeltaLog:
             "path": str(self.path),
             "last_seq": self._last_seq,
             "first_live_seq": self.first_live_seq,
+            "compacted_through": self._floor,
             "records": self._records,
             "appended": self._appended,
             "bytes": self.path.stat().st_size if self.path.exists() else 0,
@@ -525,6 +567,62 @@ class DurableSession(ExplainerSession):
     def apply_logged(self, delta: TableDelta | Mapping[str, Any]) -> dict:
         """Apply a delta that is already in the log (recovery replay)."""
         return ExplainerSession.update(self, delta)
+
+    def apply_replicated(
+        self,
+        seq: int,
+        delta: TableDelta | Mapping[str, Any],
+        request_id: str | None = None,
+    ) -> dict:
+        """Apply one shipped WAL record on a follower replica.
+
+        The leader assigned ``seq``; the follower must reproduce the
+        leader's log bit for bit, so the record is validated, appended to
+        the *local* log (asserting the local append lands on the shipped
+        sequence number), and applied through the normal maintenance
+        path — all under the update lock, exactly like a leader write.
+
+        Idempotent against redelivery: a record at or below the local
+        ``last_seq`` is acknowledged as a duplicate without touching
+        anything.  A record that would skip ahead raises
+        :class:`StoreError` — the shipping stream has a gap (dropped
+        batch, or compaction outran the cursor) and the tailer must
+        re-poll or resync from a snapshot rather than apply out of order.
+        """
+        if not isinstance(delta, TableDelta):
+            delta = TableDelta.from_json(delta)
+        seq = int(seq)
+        with self._wal_lock:
+            last = self.log.last_seq
+            if seq <= last:
+                return {
+                    "applied": False,
+                    "duplicate": True,
+                    "result": {"wal_seq": last},
+                }
+            if seq != last + 1:
+                raise StoreError(
+                    f"replication gap: shipped seq {seq} but the local log "
+                    f"ends at {last}; re-poll the leader or resync from a "
+                    "snapshot"
+                )
+            _faults.inject(
+                "repl.apply.crash",
+                lambda: StoreError(
+                    f"injected replication apply crash before seq {seq}"
+                ),
+            )
+            self._validate(delta)
+            written = self.log.append(delta, request_id=request_id)
+            if written != seq:
+                raise StoreError(
+                    f"replication diverged: local append landed on seq "
+                    f"{written}, leader shipped {seq}"
+                )
+            response = ExplainerSession.update(self, delta)
+        response["result"]["wal_seq"] = written
+        response["applied"] = True
+        return response
 
     def retire(self) -> None:
         """Eviction teardown: stop threads and *seal* the log.

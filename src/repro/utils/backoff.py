@@ -1,0 +1,126 @@
+"""Jittered exponential backoff with an optional overall deadline.
+
+Every reconnecting client in the stack — ``repro monitor watch
+--follow``, the replication tailer — wants the same retry shape: start
+small, double on consecutive failures, cap the delay, spread retries
+with jitter so a fleet of followers does not reconnect in lockstep, and
+optionally give up once an overall deadline has passed.  :class:`Backoff`
+is that shape as one reusable object; callers own the failure
+classification (what counts as retryable) and the loop.
+
+>>> backoff = Backoff(initial=0.5, factor=2.0, max_delay=10.0)
+>>> backoff.next_delay()  # 0.5, then 1.0, 2.0, ... capped at 10.0
+0.5
+>>> backoff.reset()       # healthy response: back to the initial rung
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+class Backoff:
+    """Exponential retry delays: ``initial * factor**n``, capped, jittered.
+
+    Parameters
+    ----------
+    initial:
+        First delay in seconds.
+    factor:
+        Multiplier applied per consecutive failure.
+    max_delay:
+        Ceiling for any single delay (pre-jitter).
+    jitter:
+        Fraction of the delay randomized away, in ``[0, 1]``: the
+        returned delay is uniform in ``[delay * (1 - jitter), delay]``.
+        ``0`` (the default) keeps delays exactly deterministic.
+    deadline_s:
+        Overall budget measured from construction (or the last
+        :meth:`reset`); :meth:`expired` flips once it is spent and
+        :meth:`next_delay` never sleeps past it.  ``None`` retries
+        forever.
+    rng:
+        Source of jitter randomness (tests pass a seeded
+        ``random.Random``).
+    clock:
+        Monotonic time source used for deadline accounting (tests pass
+        a scripted callable; defaults to :func:`time.monotonic`).
+    """
+
+    def __init__(
+        self,
+        initial: float = 0.5,
+        factor: float = 2.0,
+        max_delay: float = 10.0,
+        jitter: float = 0.0,
+        deadline_s: float | None = None,
+        rng: random.Random | None = None,
+        clock=time.monotonic,
+    ):
+        if initial <= 0:
+            raise ValueError(f"initial delay must be positive, got {initial}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.initial = float(initial)
+        self.factor = float(factor)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.deadline_s = None if deadline_s is None else float(deadline_s)
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+        self._attempts = 0
+        self._started = self._clock()
+
+    @property
+    def attempts(self) -> int:
+        """Consecutive failures since the last :meth:`reset`."""
+        return self._attempts
+
+    def remaining_s(self) -> float | None:
+        """Seconds left of the overall deadline, or ``None`` (unbounded)."""
+        if self.deadline_s is None:
+            return None
+        return max(0.0, self.deadline_s - (self._clock() - self._started))
+
+    def expired(self) -> bool:
+        """True once the overall deadline has been spent."""
+        remaining = self.remaining_s()
+        return remaining is not None and remaining <= 0
+
+    def next_delay(self) -> float:
+        """The delay before the next retry; advances the ladder.
+
+        Deadline-aware: the returned delay never extends past the
+        overall budget (it is clamped to the remaining time, down to 0).
+        """
+        delay = min(
+            self.initial * (self.factor ** self._attempts), self.max_delay
+        )
+        self._attempts += 1
+        if self.jitter:
+            delay *= 1.0 - self.jitter * self._rng.random()
+        remaining = self.remaining_s()
+        if remaining is not None:
+            delay = max(0.0, min(delay, remaining))
+        return delay
+
+    def sleep(self) -> float:
+        """Sleep :meth:`next_delay`; returns how long was slept."""
+        delay = self.next_delay()
+        if delay > 0:
+            time.sleep(delay)
+        return delay
+
+    def reset(self) -> None:
+        """Back to the initial rung; restarts the deadline clock."""
+        self._attempts = 0
+        self._started = self._clock()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Backoff(initial={self.initial}, factor={self.factor}, "
+            f"max_delay={self.max_delay}, attempts={self._attempts})"
+        )

@@ -1,0 +1,76 @@
+"""Jittered exponential backoff: ladder, jitter bounds, deadlines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.utils.backoff import Backoff
+
+
+class TestLadder:
+    def test_plain_exponential_ladder(self):
+        backoff = Backoff(initial=0.5, factor=2.0, max_delay=10.0)
+        assert [backoff.next_delay() for _ in range(6)] == [
+            0.5, 1.0, 2.0, 4.0, 8.0, 10.0
+        ]
+        assert backoff.attempts == 6
+
+    def test_reset_restarts_the_ladder(self):
+        backoff = Backoff(initial=0.5)
+        backoff.next_delay()
+        backoff.next_delay()
+        backoff.reset()
+        assert backoff.attempts == 0
+        assert backoff.next_delay() == 0.5
+
+    def test_factor_one_is_constant(self):
+        backoff = Backoff(initial=0.3, factor=1.0)
+        assert [backoff.next_delay() for _ in range(3)] == [0.3, 0.3, 0.3]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Backoff(initial=0.0)
+        with pytest.raises(ValueError):
+            Backoff(initial=1.0, factor=0.5)
+        with pytest.raises(ValueError):
+            Backoff(initial=1.0, jitter=1.5)
+
+
+class TestJitter:
+    def test_jitter_only_shrinks_within_fraction(self):
+        backoff = Backoff(
+            initial=1.0, factor=1.0, jitter=0.5, rng=random.Random(7)
+        )
+        for _ in range(50):
+            delay = backoff.next_delay()
+            assert 0.5 <= delay <= 1.0
+
+    def test_jitter_is_deterministic_given_rng(self):
+        first = Backoff(initial=1.0, jitter=0.3, rng=random.Random(3))
+        second = Backoff(initial=1.0, jitter=0.3, rng=random.Random(3))
+        assert [first.next_delay() for _ in range(5)] == [
+            second.next_delay() for _ in range(5)
+        ]
+
+
+class TestDeadline:
+    def test_delay_clamped_to_remaining_deadline(self):
+        clock = iter([0.0, 0.0, 3.5]).__next__
+        backoff = Backoff(
+            initial=4.0, factor=2.0, deadline_s=4.0, clock=clock
+        )
+        assert backoff.next_delay() == 4.0  # full budget remains
+        assert backoff.next_delay() == 0.5  # only half a second left
+
+    def test_expired_after_deadline(self):
+        clock = iter([0.0, 5.0, 5.0]).__next__
+        backoff = Backoff(initial=0.5, deadline_s=4.0, clock=clock)
+        assert backoff.expired()
+        assert backoff.remaining_s() == 0.0
+
+    def test_no_deadline_never_expires(self):
+        backoff = Backoff(initial=0.5)
+        assert not backoff.expired()
+        assert backoff.remaining_s() is None

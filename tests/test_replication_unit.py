@@ -1,0 +1,241 @@
+"""Replication building blocks: batches, ship faults, appliers, epochs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.faults as faults
+from repro.core.lewis import Lewis
+from repro.data.table import Table
+from repro.replication import (
+    EpochStore,
+    FencedError,
+    ReplicaApplier,
+    ReplicationManager,
+    build_batch,
+)
+from repro.store import DeltaLog, DurableSession, Registry
+from repro.utils.exceptions import StoreError
+
+
+def tiny_model(features: Table) -> np.ndarray:
+    return (features.codes("a") + features.codes("b")) >= 2
+
+
+def make_storable_lewis(seed=3, n=60):
+    """A Lewis over a fitted (serialisable) model, for registry tests."""
+    from repro import fit_table_model
+
+    rng = np.random.default_rng(seed)
+    rows = {
+        "a": rng.integers(0, 3, n).tolist(),
+        "b": rng.integers(0, 3, n).tolist(),
+    }
+    rows["y"] = [int(a + b >= 2) for a, b in zip(rows["a"], rows["b"])]
+    table = Table.from_dict(
+        rows, domains={"a": [0, 1, 2], "b": [0, 1, 2], "y": [0, 1]}
+    )
+    model = fit_table_model("logistic", table, ["a", "b"], "y", seed=seed)
+    return Lewis(
+        model,
+        data=table.select(["a", "b"]),
+        attributes=["a", "b"],
+        positive_outcome=1,
+        infer_orderings=False,
+    )
+
+
+def make_session(tmp_path, name="wal.jsonl"):
+    rng = np.random.default_rng(5)
+    n = 60
+    table = Table.from_dict(
+        {"a": rng.integers(0, 3, n).tolist(), "b": rng.integers(0, 3, n).tolist()},
+        domains={"a": [0, 1, 2], "b": [0, 1, 2]},
+    )
+    lewis = Lewis(
+        tiny_model,
+        data=table,
+        feature_names=["a", "b"],
+        attributes=["a", "b"],
+        infer_orderings=False,
+    )
+    return DurableSession(lewis, DeltaLog(tmp_path / name), tenant="t")
+
+
+@pytest.fixture()
+def leader(tmp_path):
+    session = make_session(tmp_path, "leader.jsonl")
+    yield session
+    session.close()
+
+
+@pytest.fixture()
+def follower(tmp_path):
+    session = make_session(tmp_path, "follower.jsonl")
+    yield session
+    session.close()
+
+
+def put_rows(session, k):
+    for i in range(k):
+        session.update({"insert": [{"a": i % 3, "b": 1}]})
+
+
+class TestBuildBatch:
+    def test_geometry_and_records(self, leader):
+        put_rows(leader, 3)
+        batch = build_batch(leader, cursor=1, epoch=4)
+        assert batch["tenant"] == "t"
+        assert batch["epoch"] == 4
+        assert batch["cursor"] == 1
+        assert batch["cursor_valid"] is True
+        assert batch["last_seq"] == 3
+        assert [r["seq"] for r in batch["records"]] == [2, 3]
+        assert batch["table_version"] == leader.table_version
+        assert batch["state_token"] == leader.state_token
+
+    def test_limit_caps_the_batch(self, leader):
+        put_rows(leader, 5)
+        batch = build_batch(leader, cursor=0, limit=2)
+        assert [r["seq"] for r in batch["records"]] == [1, 2]
+        assert batch["last_seq"] == 5  # follower sees it is still behind
+
+    def test_compacted_cursor_is_flagged_invalid(self, leader):
+        put_rows(leader, 3)
+        leader.log.truncate_through(2)
+        batch = build_batch(leader, cursor=0)
+        assert batch["cursor_valid"] is False
+        assert batch["records"] == []
+        assert batch["first_live_seq"] == 3
+
+    def test_negative_cursor_rejected(self, leader):
+        with pytest.raises(ValueError, match="cursor"):
+            build_batch(leader, cursor=-1)
+
+
+class TestShipFaults:
+    def test_drop_loses_the_head(self, leader):
+        put_rows(leader, 3)
+        with faults.plan({"repl.ship.drop": {"once": True}}):
+            batch = build_batch(leader, cursor=0)
+        assert [r["seq"] for r in batch["records"]] == [2, 3]
+        # the log itself is untouched: the next fetch ships everything
+        assert [r["seq"] for r in build_batch(leader, cursor=0)["records"]] == [
+            1, 2, 3
+        ]
+
+    def test_dup_redelivers_the_head(self, leader):
+        put_rows(leader, 3)
+        with faults.plan({"repl.ship.dup": {"once": True}}):
+            batch = build_batch(leader, cursor=0)
+        assert [r["seq"] for r in batch["records"]] == [1, 2, 3, 1]
+
+    def test_reorder_reverses_the_batch(self, leader):
+        put_rows(leader, 3)
+        with faults.plan({"repl.ship.reorder": {"once": True}}):
+            batch = build_batch(leader, cursor=0)
+        assert [r["seq"] for r in batch["records"]] == [3, 2, 1]
+
+
+class TestReplicaApplier:
+    def test_clean_batch_applies_in_order(self, leader, follower):
+        put_rows(leader, 3)
+        result = ReplicaApplier(follower).apply_batch(build_batch(leader, 0))
+        assert result == {
+            "applied": 3, "duplicates": 0, "gap": False, "last_seq": 3,
+        }
+        assert follower.table_version == leader.table_version
+        assert follower.state_token == leader.state_token
+
+    def test_duplicates_absorbed_and_reorder_sorted(self, leader, follower):
+        put_rows(leader, 3)
+        batch = build_batch(leader, 0)
+        batch["records"] = list(reversed(batch["records"])) + batch["records"][:1]
+        result = ReplicaApplier(follower).apply_batch(batch)
+        assert result["applied"] == 3
+        assert result["duplicates"] == 1
+        assert not result["gap"]
+        assert follower.state_token == leader.state_token
+
+    def test_gap_stops_the_batch_without_applying(self, leader, follower):
+        put_rows(leader, 3)
+        batch = build_batch(leader, 0)
+        batch["records"] = batch["records"][1:]  # head lost in flight
+        result = ReplicaApplier(follower).apply_batch(batch)
+        assert result["applied"] == 0
+        assert result["gap"] is True
+        assert follower.log.last_seq == 0  # nothing damaged was applied
+
+
+class TestApplyReplicated:
+    def test_duplicate_is_acknowledged_without_reapplying(self, follower):
+        follower.apply_replicated(1, {"insert": [{"a": 0, "b": 1}]})
+        rows = len(follower.lewis.data)
+        response = follower.apply_replicated(1, {"insert": [{"a": 0, "b": 1}]})
+        assert response["duplicate"] is True
+        assert len(follower.lewis.data) == rows
+        assert follower.log.last_seq == 1
+
+    def test_gap_raises_instead_of_skipping_ahead(self, follower):
+        with pytest.raises(StoreError, match="replication gap"):
+            follower.apply_replicated(5, {"insert": [{"a": 0, "b": 1}]})
+        assert follower.log.last_seq == 0
+
+    def test_injected_crash_fires_before_the_append(self, follower):
+        with faults.plan({"repl.apply.crash": {"once": True}}):
+            with pytest.raises(StoreError, match="injected replication apply"):
+                follower.apply_replicated(1, {"insert": [{"a": 0, "b": 1}]})
+            assert follower.log.last_seq == 0  # crash preceded durability
+            # the retry (same seq, fault spent) succeeds cleanly
+            response = follower.apply_replicated(
+                1, {"insert": [{"a": 0, "b": 1}]}
+            )
+        assert response["applied"] is True
+        assert follower.log.last_seq == 1
+
+
+class TestEpochStore:
+    def test_note_seen_ratchets_durably(self, tmp_path):
+        epochs = EpochStore(tmp_path)
+        assert epochs.max_seen() == 0
+        assert epochs.note_seen(3) is True
+        assert epochs.note_seen(3) is True  # at the floor: fine
+        assert epochs.note_seen(2) is False  # below: fenced
+        reopened = EpochStore(tmp_path)
+        assert reopened.max_seen() == 3
+        assert reopened.note_seen(2) is False  # fencing survives restart
+
+    def test_advance_is_monotone_past_everything_seen(self, tmp_path):
+        epochs = EpochStore(tmp_path)
+        epochs.note_seen(7)
+        assert epochs.advance("failover") == 8
+        assert epochs.current() == 8
+        assert EpochStore(tmp_path).current() == 8
+        assert epochs.history()[-1]["reason"] == "failover"
+
+    def test_crash_during_advance_leaves_old_epoch(self, tmp_path):
+        epochs = EpochStore(tmp_path)
+        epochs.note_seen(2)
+        with faults.plan({"repl.promote": {"once": True}}):
+            with pytest.raises(StoreError, match="promotion"):
+                epochs.advance("doomed")
+        assert epochs.current() == 0  # never led
+        assert EpochStore(tmp_path).current() == 0
+        assert epochs.advance("retry") == 3  # the retry still fences 2
+
+
+class TestManagerFencing:
+    def test_stale_epoch_batch_is_refused(self, tmp_path):
+        registry = Registry(tmp_path / "store")
+        try:
+            registry.add("t", make_storable_lewis())
+            manager = ReplicationManager(registry)
+            manager.epochs.note_seen(5)
+            stale = {"tenant": "t", "epoch": 4, "records": [], "last_seq": 0}
+            with pytest.raises(FencedError, match="fencing floor 5"):
+                manager.ingest_batch("t", stale)
+            fresh = {"tenant": "t", "epoch": 5, "records": [], "last_seq": 0}
+            assert manager.ingest_batch("t", fresh)["applied"] == 0
+        finally:
+            registry.close()

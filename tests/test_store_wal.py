@@ -138,12 +138,39 @@ class TestDeltaLog:
         log.truncate_through(3)  # checkpoint covered everything
         log.close()
 
-        # a new process sees an empty file; the manifest's wal_seq=3
-        # anchors the sequence so new records are not shadowed
+        # a new process reads the durable floor marker: the sequence
+        # survives without the manifest's help, and ensure_floor is a
+        # no-op confirmation rather than the only safety net
         fresh = DeltaLog(path)
-        assert fresh.last_seq == 0
+        assert fresh.last_seq == 3
         fresh.ensure_floor(3)
         assert fresh.append(delta(delete=[0])) == 4
+
+    def test_compacted_log_reports_cursor_geometry(self, tmp_path):
+        # regression: before the durable floor marker, a *fresh* open of
+        # a fully-compacted log forgot its history — cursor_valid(0)
+        # answered True and first_live_seq restarted at 1, so a replica
+        # could replay a hole without noticing.
+        path = tmp_path / "t.jsonl"
+        log = DeltaLog(path)
+        for i in range(3):
+            log.append(delta(delete=[i]))
+        log.truncate_through(3)
+        log.close()
+
+        fresh = DeltaLog(path)
+        assert fresh.cursor_valid(0) is False
+        assert fresh.cursor_valid(3) is True
+        assert fresh.first_live_seq == 4
+        assert fresh.stats()["compacted_through"] == 3
+        # old-format logs (no marker) keep their pre-marker behavior
+        bare = tmp_path / "old.jsonl"
+        old = DeltaLog(bare)
+        old.append(delta(delete=[0]))
+        old.close()
+        reopened = DeltaLog(bare)
+        assert reopened.cursor_valid(0) is True
+        assert reopened.first_live_seq == 1
 
     def test_stats(self, tmp_path):
         log = DeltaLog(tmp_path / "t.jsonl")
